@@ -1,0 +1,444 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (§6) as testing.B benchmarks, one per artifact, plus
+// ablation benches for the design choices called out in DESIGN.md §6.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The workloads are the laptop-scale defaults of internal/exp; the
+// cmd/experiments binary runs the same harnesses with measured-vs-paper
+// tables and a -full flag for near-paper scale.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"indaas/internal/depdb"
+	"indaas/internal/deps"
+	"indaas/internal/exp"
+	"indaas/internal/faultgraph"
+	"indaas/internal/pia"
+	"indaas/internal/psi"
+	"indaas/internal/ranking"
+	"indaas/internal/riskgroup"
+	"indaas/internal/sia"
+	"indaas/internal/topology"
+)
+
+// BenchmarkTable2PIA regenerates Table 2: the Jaccard ranking of two- and
+// three-way redundancy deployments over the four key-value stores' package
+// closures (§6.2.3), with exact cleartext set operations per iteration.
+func BenchmarkTable2PIA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(exp.Table2Config{Protocol: pia.ProtocolCleartext})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2PIAPrivate runs the same audit through the real P-SOP
+// protocol (512-bit keys).
+func BenchmarkTable2PIAPrivate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(exp.Table2Config{Protocol: pia.ProtocolPSOP, Bits: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Topologies regenerates Table 3: building the three
+// fat-tree configurations and tallying their devices.
+func BenchmarkTable3Topologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6aNetworkAudit regenerates the §6.2.1 case study: 190
+// two-way deployments audited by sampling + size ranking and by minimal RGs
+// + probability ranking.
+func BenchmarkFig6aNetworkAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig6a(exp.Fig6aConfig{Rounds: 20_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6bHardwareAudit regenerates the §6.2.2 case study: correlated
+// VM placement, audit, suggestion, re-deployment, re-audit.
+func BenchmarkFig6bHardwareAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig7Workload builds the Fig. 7 deployment graph for a k-port fat tree.
+func fig7Workload(b *testing.B, k int) *faultgraph.Graph {
+	b.Helper()
+	ft, err := topology.FatTree(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bld := faultgraph.NewBuilder()
+	var servers []faultgraph.NodeID
+	for pod := 0; pod < 2; pod++ {
+		srv := topology.FatTreeServer(pod, 0, 0)
+		routes, err := ft.RoutesToInternet(srv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var routeNodes []faultgraph.NodeID
+		for ri, route := range routes {
+			var devs []faultgraph.NodeID
+			for _, d := range route {
+				devs = append(devs, bld.Basic(d))
+			}
+			routeNodes = append(routeNodes, bld.Gate(fmt.Sprintf("%s r%d", srv, ri), faultgraph.OR, devs...))
+		}
+		servers = append(servers, bld.Gate(srv+" fails", faultgraph.AND, routeNodes...))
+	}
+	bld.SetTop(bld.Gate("deployment fails", faultgraph.AND, servers...))
+	g, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkFig7MinimalRG times the exact minimal RG algorithm on scaled
+// Fig. 7 topologies (the paper's Fig. 7 x-axis is this computation's cost).
+func BenchmarkFig7MinimalRG(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			g := fig7Workload(b, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fam) == 0 {
+					b.Fatal("no minimal RGs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Sampling times the failure sampling algorithm at growing
+// round counts and reports the detection rate against ground truth.
+func BenchmarkFig7Sampling(b *testing.B) {
+	g := fig7Workload(b, 8)
+	truth, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rounds := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				// Bias 0.97 per the Fig. 7 methodology (EXPERIMENTS.md).
+				fam, err := riskgroup.Sampler{Rounds: rounds, Bias: 0.97, Shrink: true, Seed: int64(i + 1)}.Sample(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = riskgroup.DetectionRate(truth, fam)
+			}
+			b.ReportMetric(100*rate, "%detected")
+		})
+	}
+}
+
+// benchSets builds k datasets of n elements with a 20% shared core.
+func benchSets(k, n int) [][]string {
+	sets := make([][]string, k)
+	for i := range sets {
+		set := make([]string, 0, n)
+		for j := 0; j < n/5; j++ {
+			set = append(set, fmt.Sprintf("pkg:shared-%d", j))
+		}
+		for j := n / 5; j < n; j++ {
+			set = append(set, fmt.Sprintf("cloud%d/private-%d", i, j))
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// benchProviders wraps benchSets as PIA providers.
+func benchProviders(k, n int) []pia.Provider {
+	sets := benchSets(k, n)
+	out := make([]pia.Provider, k)
+	for i := range out {
+		out[i] = pia.Provider{Name: fmt.Sprintf("Cloud%d", i+1), Components: sets[i]}
+	}
+	return out
+}
+
+// benchComponents generates n labelled components.
+func benchComponents(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%03d", prefix, i)
+	}
+	return out
+}
+
+// uniformProbs assigns probability p to every benchComponents member.
+func uniformProbs(prefix string, n int, p float64) map[string]float64 {
+	out := make(map[string]float64, n)
+	for _, c := range benchComponents(prefix, n) {
+		out[c] = p
+	}
+	return out
+}
+
+// benchBensonDB loads the Benson DC's candidate-rack routes into a DepDB.
+func benchBensonDB(dc *topology.Topology) (*depdb.DB, error) {
+	db := depdb.New()
+	for _, rack := range topology.BensonCandidateRacks() {
+		routes, err := dc.RoutesToInternet(rack)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range routes {
+			if err := db.Put(deps.NewNetwork(rack, "Internet", r...)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// BenchmarkFig8PSOP times the P-SOP protocol per (k, n) point of Fig. 8.
+func BenchmarkFig8PSOP(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		for _, n := range []int{100, 400} {
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				sets := benchSets(k, n)
+				b.ResetTimer()
+				var bytes int64
+				for i := 0; i < b.N; i++ {
+					res, err := psi.PSOP(psi.PSOPConfig{Bits: 512}, sets)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytes = res.Stats.BytesSent
+				}
+				b.ReportMetric(float64(bytes)/1024, "KB-sent")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8KS times the Kissner-Song baseline per (k, n) point; note the
+// quadratic growth in n versus P-SOP's linear growth.
+func BenchmarkFig8KS(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		for _, n := range []int{25, 100} {
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				sets := benchSets(k, n)
+				b.ResetTimer()
+				var bytes int64
+				for i := 0; i < b.N; i++ {
+					res, err := psi.KS(psi.KSConfig{Bits: 512, BlindBits: 64}, sets)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytes = res.Stats.BytesSent
+				}
+				b.ReportMetric(float64(bytes)/1024, "KB-sent")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9SIAvsPIA times each §6.3.3 method over all two-way
+// deployments of 4 providers with 60-component sets.
+func BenchmarkFig9SIAvsPIA(b *testing.B) {
+	providers := benchProviders(4, 60)
+	deployments := pia.AllPairs(4)
+	graphFor := func(d pia.Deployment) *faultgraph.Graph {
+		sources := make([]faultgraph.SourceSet, len(d))
+		for i, idx := range d {
+			sources[i] = faultgraph.SourceSet{Source: providers[idx].Name, Components: providers[idx].Components}
+		}
+		g, err := faultgraph.FromSourceSets("deployment fails", len(sources), sources)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	b.Run("SIA-minimal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range deployments {
+				if _, err := riskgroup.MinimalRGs(graphFor(d), riskgroup.MinimalOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("SIA-sampling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range deployments {
+				if _, err := (riskgroup.Sampler{Rounds: 10_000, Seed: 1}).Sample(graphFor(d)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("PIA-P-SOP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pia.AuditDeployments(pia.Config{Protocol: pia.ProtocolPSOP, Bits: 512}, providers, deployments); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PIA-KS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := pia.Config{Protocol: pia.ProtocolKS, Bits: 512, MinHashM: 32, KSBlindBits: 64}
+			if _, err := pia.AuditDeployments(cfg, providers, deployments); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- ablation benches (DESIGN.md §6) ---------------------------------------
+
+// BenchmarkAblationMinimizeCadence compares per-node absorption against
+// final-only minimization in the exact algorithm. The workload is the k=4
+// fat-tree deployment: without per-node absorption intermediate families
+// grow as the raw product of route families (3^(k/2) per server — already
+// 43M sets at k=8), which is precisely why the default minimizes
+// aggressively at every node.
+func BenchmarkAblationMinimizeCadence(b *testing.B) {
+	g := fig7Workload(b, 4)
+	b.Run("per-node", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("final-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{FinalMinimizeOnly: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSamplerShrink compares raw sampling with greedy shrink.
+func BenchmarkAblationSamplerShrink(b *testing.B) {
+	g := fig7Workload(b, 8)
+	for _, shrink := range []bool{false, true} {
+		b.Run(fmt.Sprintf("shrink=%v", shrink), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (riskgroup.Sampler{Rounds: 20_000, Shrink: shrink, Seed: 1}).Sample(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPSOPKeySize sweeps the commutative key size.
+func BenchmarkAblationPSOPKeySize(b *testing.B) {
+	sets := benchSets(2, 100)
+	for _, bits := range []int{512, 1024, 2048} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := psi.PSOP(psi.PSOPConfig{Bits: bits}, sets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMinHashM sweeps the MinHash signature width used by PIA
+// for large component-sets (accuracy rises with m; this measures the cost).
+func BenchmarkAblationMinHashM(b *testing.B) {
+	providers := benchProviders(2, 2000)
+	for _, m := range []int{128, 512, 2048} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			cfg := pia.Config{Protocol: pia.ProtocolCleartext, MinHashM: m}
+			for i := 0; i < b.N; i++ {
+				if _, err := pia.AuditDeployments(cfg, providers, pia.AllPairs(2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKarpLuby sweeps the sample count of the large-family
+// Pr(T) estimator against the exact inclusion–exclusion baseline.
+func BenchmarkAblationKarpLuby(b *testing.B) {
+	// A weighted component-set deployment with a large minimal-RG family.
+	sources := []faultgraph.SourceSet{
+		{Source: "E1", Components: benchComponents("x", 40), Probs: uniformProbs("x", 40, 0.02)},
+		{Source: "E2", Components: benchComponents("y", 40), Probs: uniformProbs("y", 40, 0.02)},
+	}
+	g, err := faultgraph.FromSourceSets("T", 2, sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, samples := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ranking.KarpLubyEstimate(g, fam, samples, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkSIABuildGraph times §4.1.1 graph construction from DepDB on the
+// Benson DC (the fixed cost every audit pays before analysis).
+func BenchmarkSIABuildGraph(b *testing.B) {
+	dc := topology.BensonDC()
+	db, err := benchBensonDB(dc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sia.GraphSpec{Deployment: "pair", Servers: []string{"Rack5", "Rack29"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sia.BuildGraph(db, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Command vennsolve derives the synthetic package universe behind the
+// Table 2 reproduction (§6.2.3).
+//
+// The paper measured Jaccard similarities between the apt dependency
+// closures of Riak, MongoDB, Redis and CouchDB on four clouds. Those
+// closures are not shipped with the paper, but any four sets are fully
+// characterized by the cardinalities of the 15 non-empty regions of their
+// Venn diagram. This tool searches for non-negative integer region sizes
+// whose ten Jaccard similarities (six pairwise, four three-way) match
+// Table 2 to four decimal places, using randomized integer local search
+// with restarts.
+//
+// The winning region sizes are frozen into internal/swpkg/dataset.go; this
+// tool is kept so the derivation is reproducible:
+//
+//	go run ./cmd/vennsolve -seed 1 -iters 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+)
+
+// Region bit convention: bit 0 = Riak (Cloud1), bit 1 = MongoDB (Cloud2),
+// bit 2 = Redis (Cloud3), bit 3 = CouchDB (Cloud4). Regions are the 15
+// non-empty subsets 1..15; n[s] is the number of packages shared by exactly
+// the clouds in s.
+
+type target struct {
+	mask int // subset of clouds audited together
+	want float64
+}
+
+var targets = []target{
+	// Table 2, two-way deployments.
+	{0b0011, 0.5059}, // Cloud1 & Cloud2
+	{0b0101, 0.2939}, // Cloud1 & Cloud3
+	{0b1001, 0.2081}, // Cloud1 & Cloud4
+	{0b0110, 0.1547}, // Cloud2 & Cloud3
+	{0b1010, 0.1419}, // Cloud2 & Cloud4
+	{0b1100, 0.3489}, // Cloud3 & Cloud4
+	// Table 2, three-way deployments.
+	{0b0111, 0.1536}, // Cloud1 & Cloud2 & Cloud3
+	{0b1011, 0.1207}, // Cloud1 & Cloud2 & Cloud4
+	{0b1101, 0.1353}, // Cloud1 & Cloud3 & Cloud4
+	{0b1110, 0.1128}, // Cloud2 & Cloud3 & Cloud4
+}
+
+// jaccard computes |∩|/|∪| for the clouds in mask given region sizes n.
+func jaccard(n [16]int, mask int) float64 {
+	inter, union := 0, 0
+	for s := 1; s < 16; s++ {
+		if s&mask == mask {
+			inter += n[s]
+		}
+		if s&mask != 0 {
+			union += n[s]
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// maxErr is the worst absolute deviation from the ten targets.
+func maxErr(n [16]int) float64 {
+	worst := 0.0
+	for _, t := range targets {
+		if e := math.Abs(jaccard(n, t.mask) - t.want); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// continuousSolve finds a non-negative direction in the (approximate) null
+// space of the homogeneous constraint system via projected gradient descent:
+// every target J(S) = w is the linear constraint I_S − w·U_S = 0.
+func continuousSolve(rng *rand.Rand) [16]float64 {
+	var best [16]float64
+	bestLoss := math.Inf(1)
+	for restart := 0; restart < 60; restart++ {
+		var x [16]float64
+		for s := 1; s < 16; s++ {
+			x[s] = rng.Float64()
+		}
+		for iter := 0; iter < 30000; iter++ {
+			// Residuals and gradient of Σ (I − w·U)².
+			var grad [16]float64
+			for _, t := range targets {
+				i, u := 0.0, 0.0
+				for s := 1; s < 16; s++ {
+					if s&t.mask == t.mask {
+						i += x[s]
+					}
+					if s&t.mask != 0 {
+						u += x[s]
+					}
+				}
+				r := i - t.want*u
+				for s := 1; s < 16; s++ {
+					a := 0.0
+					if s&t.mask == t.mask {
+						a += 1
+					}
+					if s&t.mask != 0 {
+						a -= t.want
+					}
+					grad[s] += 2 * r * a
+				}
+			}
+			lr := 0.02
+			sum := 0.0
+			for s := 1; s < 16; s++ {
+				x[s] -= lr * grad[s]
+				if x[s] < 0 {
+					x[s] = 0
+				}
+				sum += x[s]
+			}
+			if sum == 0 {
+				break
+			}
+			for s := 1; s < 16; s++ {
+				x[s] /= sum
+			}
+		}
+		loss := 0.0
+		for _, t := range targets {
+			i, u := 0.0, 0.0
+			for s := 1; s < 16; s++ {
+				if s&t.mask == t.mask {
+					i += x[s]
+				}
+				if s&t.mask != 0 {
+					u += x[s]
+				}
+			}
+			r := i/u - t.want
+			loss += r * r
+		}
+		if loss < bestLoss {
+			bestLoss = loss
+			best = x
+			fmt.Fprintf(os.Stderr, "continuous restart %d: rms=%.8f\n", restart, math.Sqrt(loss/float64(len(targets))))
+		}
+	}
+	return best
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	iters := flag.Int("iters", 2_000_000, "integer repair iterations per scale")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	x := continuousSolve(rng)
+
+	var best [16]int
+	bestErr := math.Inf(1)
+	scaleList := []float64{1500, 2000, 2500, 3000, 4000, 5000, 6000, 8000}
+	if flag.NArg() > 0 {
+		scaleList = nil
+		for _, a := range flag.Args() {
+			var v float64
+			if _, err := fmt.Sscanf(a, "%g", &v); err != nil {
+				fmt.Fprintf(os.Stderr, "bad scale %q: %v\n", a, err)
+				os.Exit(2)
+			}
+			scaleList = append(scaleList, v)
+		}
+	}
+	for _, scale := range scaleList {
+		var n [16]int
+		for s := 1; s < 16; s++ {
+			n[s] = int(math.Round(x[s] * scale))
+		}
+		// Every cloud keeps at least a few private packages for realism.
+		for _, s := range []int{0b0001, 0b0010, 0b0100, 0b1000} {
+			if n[s] < 5 {
+				n[s] = 5
+			}
+		}
+		cur := maxErr(n)
+		// Integer repair: small random moves, accept non-worsening.
+		for i := 0; i < *iters; i++ {
+			s := 1 + rng.Intn(15)
+			delta := rng.Intn(7) - 3
+			if delta == 0 {
+				continue
+			}
+			old := n[s]
+			n[s] += delta
+			lo := 0
+			if s == 0b0001 || s == 0b0010 || s == 0b0100 || s == 0b1000 {
+				lo = 5
+			}
+			if n[s] < lo {
+				n[s] = old
+				continue
+			}
+			e := maxErr(n)
+			if e <= cur {
+				cur = e
+			} else {
+				n[s] = old
+			}
+		}
+		fmt.Fprintf(os.Stderr, "scale %v: maxErr=%.6f\n", scale, cur)
+		if cur < bestErr {
+			bestErr = cur
+			best = n
+		}
+		if bestErr < 0.00005 {
+			break
+		}
+	}
+	fmt.Printf("// maxErr = %.6f\n", bestErr)
+	fmt.Printf("var regionSizes = map[int]int{\n")
+	for s := 1; s < 16; s++ {
+		if best[s] > 0 {
+			fmt.Printf("\t0b%04b: %d,\n", s, best[s])
+		}
+	}
+	fmt.Printf("}\n")
+	for _, t := range targets {
+		fmt.Printf("// J(%04b) = %.4f (target %.4f)\n", t.mask, jaccard(best, t.mask), t.want)
+	}
+	if bestErr >= 0.00005 {
+		fmt.Fprintln(os.Stderr, "warning: did not reach 4-decimal precision")
+		os.Exit(1)
+	}
+}

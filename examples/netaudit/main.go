@@ -1,0 +1,41 @@
+// Netaudit reproduces the paper's first case study (§6.2.1, Fig. 6a): a data
+// center operator wants to replicate a service across two racks and uses
+// INDaaS to find the placement with no hidden common network dependency.
+//
+//	go run ./examples/netaudit [-rounds N]
+//
+// The run audits all 190 two-way deployments over the 20 candidate racks of
+// the Benson-style topology, prints the most independent placements, and
+// cross-checks with the failure-probability analysis at p = 0.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"indaas/internal/exp"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 200_000, "failure sampling rounds (paper: 1e6)")
+	flag.Parse()
+
+	fmt.Println("auditing 190 candidate two-way deployments on the Benson-style DC…")
+	res, err := exp.RunFig6a(exp.Fig6aConfig{Rounds: *rounds})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		fmt.Printf("\nWARNING: result deviates from the paper: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nall §6.2.1 numbers reproduced: without auditing, a random placement")
+	fmt.Printf("avoids correlated failures only %.0f%% of the time; INDaaS identifies\n", 100*res.RandomSuccess)
+	fmt.Printf("%s as the uniquely safest placement (Pr(outage) = %.6f at p = 0.1).\n",
+		res.ProbBest, res.ProbBestProb)
+}

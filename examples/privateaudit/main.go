@@ -1,0 +1,50 @@
+// Privateaudit reproduces the paper's third case study (§6.2.3, Fig. 6c and
+// Table 2): a service provider choosing among four clouds — each running a
+// different key-value store — asks PIA which redundancy deployment shares
+// the fewest software dependencies, without any cloud revealing its package
+// list to anyone.
+//
+//	go run ./examples/privateaudit [-cleartext] [-bits N]
+//
+// By default the Jaccard similarities are computed through the P-SOP
+// private set intersection cardinality protocol; -cleartext switches to the
+// trusted-auditor baseline (instant, same numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"indaas/internal/exp"
+	"indaas/internal/pia"
+)
+
+func main() {
+	cleartext := flag.Bool("cleartext", false, "skip the private protocol (trusted-auditor baseline)")
+	bits := flag.Int("bits", 512, "commutative key size for P-SOP (paper: 1024)")
+	flag.Parse()
+
+	cfg := exp.Table2Config{Protocol: pia.ProtocolPSOP, Bits: *bits}
+	if *cleartext {
+		cfg.Protocol = pia.ProtocolCleartext
+	}
+	fmt.Printf("running PIA over Riak/MongoDB/Redis/CouchDB package closures (%s)…\n",
+		cfg.Protocol)
+	res, err := exp.RunTable2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		fmt.Printf("\nWARNING: result deviates from the paper: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Printf("best two-way deployment:   %s (J = %.4f)\n", res.TwoWay[0].Clouds, res.TwoWay[0].Measured)
+	fmt.Printf("best three-way deployment: %s (J = %.4f)\n", res.ThreeWay[0].Clouds, res.ThreeWay[0].Measured)
+	fmt.Println("both rankings match the paper's Table 2.")
+}

@@ -1,0 +1,36 @@
+// Vmplacement reproduces the paper's second case study (§6.2.2, Fig. 6b):
+// OpenStack's least-loaded scheduler silently places both replicas of a Riak
+// store on the same physical server; the INDaaS audit catches the resulting
+// size-1 risk groups before the service goes public, and the suggested
+// re-deployment removes them.
+//
+//	go run ./examples/vmplacement
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"indaas/internal/exp"
+)
+
+func main() {
+	fmt.Println("deploying Riak on two VMs in the four-server lab cloud…")
+	res, err := exp.RunFig6b()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		fmt.Printf("\nWARNING: result deviates from the paper: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Printf("the scheduler put both replicas on %s — a single server whose\n", res.VM7Host)
+	fmt.Println("failure would undermine the redundancy effort, exactly the risk the")
+	fmt.Printf("audit's top-ranked groups expose. re-deploying per the report (%s)\n", res.Suggestion)
+	fmt.Printf("leaves %d unexpected risk groups.\n", res.AfterUnexpected)
+}

@@ -1,0 +1,221 @@
+// Package agent implements the networked INDaaS roles of Fig. 1 and Fig. 5:
+//
+//   - Source: a data source server exposing its dependency acquisition
+//     modules to the auditing agent (SIA, Fig. 5a);
+//   - Agent: the auditing agent server mediating between auditing clients
+//     and data sources;
+//   - Client: the auditing client library (§2 Steps 1 and 6);
+//   - Proxy: a cloud provider's PIA proxy executing the P-SOP ring protocol
+//     with other proxies under agent supervision (Fig. 5b).
+//
+// All roles speak the wire package's length-prefixed JSON protocol over TCP.
+package agent
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"indaas/internal/deps"
+	"indaas/internal/sia"
+	"indaas/internal/wire"
+)
+
+// Message types of the SIA flow.
+const (
+	TypeCollectRequest  = "collect-request"
+	TypeCollectResponse = "collect-response"
+	TypeAuditRequest    = "audit-request"
+	TypeAuditResponse   = "audit-response"
+)
+
+// CollectRequest asks a data source for dependency records (§2 Step 2).
+type CollectRequest struct {
+	// Subjects restricts collection to these servers; empty = all.
+	Subjects []string `json:"subjects,omitempty"`
+	// Kinds restricts the dependency kinds (by Kind.String name); empty = all.
+	Kinds []string `json:"kinds,omitempty"`
+}
+
+// WireRecord is the JSON encoding of one dependency record.
+type WireRecord struct {
+	Kind  string   `json:"kind"`
+	Src   string   `json:"src,omitempty"`
+	Dst   string   `json:"dst,omitempty"`
+	Route []string `json:"route,omitempty"`
+	HW    string   `json:"hw,omitempty"`
+	Type  string   `json:"type,omitempty"`
+	Dep   []string `json:"dep,omitempty"`
+	Pgm   string   `json:"pgm,omitempty"`
+}
+
+// ToWire converts a dependency record for transport.
+func ToWire(r deps.Record) WireRecord {
+	w := WireRecord{Kind: r.Kind.String()}
+	switch r.Kind {
+	case deps.KindNetwork:
+		w.Src, w.Dst, w.Route = r.Network.Src, r.Network.Dst, r.Network.Route
+	case deps.KindHardware:
+		w.HW, w.Type, w.Dep = r.Hardware.HW, r.Hardware.Type, []string{r.Hardware.Dep}
+	case deps.KindSoftware:
+		w.Pgm, w.HW, w.Dep = r.Software.Pgm, r.Software.HW, r.Software.Dep
+	}
+	return w
+}
+
+// FromWire converts a transported record back.
+func FromWire(w WireRecord) (deps.Record, error) {
+	kind, err := deps.KindFromString(w.Kind)
+	if err != nil {
+		return deps.Record{}, err
+	}
+	var rec deps.Record
+	switch kind {
+	case deps.KindNetwork:
+		rec = deps.NewNetwork(w.Src, w.Dst, w.Route...)
+	case deps.KindHardware:
+		dep := ""
+		if len(w.Dep) > 0 {
+			dep = w.Dep[0]
+		}
+		rec = deps.NewHardware(w.HW, w.Type, dep)
+	case deps.KindSoftware:
+		rec = deps.NewSoftware(w.Pgm, w.HW, w.Dep...)
+	}
+	if err := rec.Validate(); err != nil {
+		return deps.Record{}, err
+	}
+	return rec, nil
+}
+
+// CollectResponse returns the requested records (§2 Step 5).
+type CollectResponse struct {
+	Records []WireRecord `json:"records"`
+}
+
+// AuditRequest is the client's specification (§2 Step 1): data sources to
+// contact, alternative deployments to audit, and auditing parameters.
+type AuditRequest struct {
+	Title string `json:"title"`
+	// Sources lists the data source server addresses to collect from.
+	Sources []string `json:"sources"`
+	// Deployments lists the alternative redundancy deployments; each is a
+	// named list of servers.
+	Deployments []DeploymentSpec `json:"deployments"`
+	// Kinds restricts dependency kinds considered (names); empty = all.
+	Kinds []string `json:"kinds,omitempty"`
+	// Algorithm: "minimal-rg" (default) or "failure-sampling".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Rounds for failure sampling.
+	Rounds int `json:"rounds,omitempty"`
+	// FailureProb, when > 0, assigns this probability to every component
+	// and ranks by failure probability; otherwise size ranking is used.
+	FailureProb float64 `json:"failure_prob,omitempty"`
+}
+
+// DeploymentSpec names one alternative deployment.
+type DeploymentSpec struct {
+	Name    string   `json:"name"`
+	Servers []string `json:"servers"`
+	// Needed is the n of n-of-m redundancy; 0 = all.
+	Needed int `json:"needed,omitempty"`
+}
+
+// AuditResponse carries the ranked report back to the client (§2 Step 6).
+type AuditResponse struct {
+	Title  string            `json:"title"`
+	Audits []DeploymentAudit `json:"audits"`
+}
+
+// DeploymentAudit mirrors report.DeploymentAudit for transport.
+type DeploymentAudit struct {
+	Deployment  string     `json:"deployment"`
+	Expected    int        `json:"expected"`
+	Unexpected  int        `json:"unexpected"`
+	Score       float64    `json:"score"`
+	FailureProb *float64   `json:"failure_prob,omitempty"`
+	RGs         [][]string `json:"rgs"`
+}
+
+// Server is a generic accept loop around a role-specific connection handler.
+type Server struct {
+	ln      net.Listener
+	handler func(*wire.Conn)
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+func newServer(addr string, handler func(*wire.Conn)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			log.Printf("agent: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			conn := wire.NewConn(c)
+			defer conn.Close()
+			s.handler(conn)
+		}()
+	}
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// kindsFromNames parses dependency kind names.
+func kindsFromNames(names []string) ([]deps.Kind, error) {
+	var out []deps.Kind
+	for _, n := range names {
+		k, err := deps.KindFromString(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// algorithmFromName parses the audit algorithm name.
+func algorithmFromName(name string) (sia.Algorithm, error) {
+	switch name {
+	case "", "minimal-rg":
+		return sia.MinimalRG, nil
+	case "failure-sampling":
+		return sia.FailureSampling, nil
+	default:
+		return 0, fmt.Errorf("agent: unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,188 @@
+package agent
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"indaas/internal/depdb"
+	"indaas/internal/sia"
+	"indaas/internal/wire"
+)
+
+// Agent is the auditing agent server: it receives client specifications,
+// collects dependency data from the data sources, runs SIA and returns the
+// ranked report (§2 Steps 2–6).
+type Agent struct {
+	srv *Server
+}
+
+// NewAgent starts an auditing agent on addr.
+func NewAgent(addr string) (*Agent, error) {
+	a := &Agent{}
+	srv, err := newServer(addr, a.handle)
+	if err != nil {
+		return nil, err
+	}
+	a.srv = srv
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.srv.Addr() }
+
+// Close shuts the agent down.
+func (a *Agent) Close() error { return a.srv.Close() }
+
+func (a *Agent) handle(conn *wire.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if msg.Type != TypeAuditRequest {
+			_ = conn.SendError(fmt.Errorf("unexpected message %q", msg.Type))
+			return
+		}
+		var req AuditRequest
+		if err := msg.Decode(&req); err != nil {
+			_ = conn.SendError(err)
+			return
+		}
+		resp, err := a.runAudit(&req)
+		if err != nil {
+			_ = conn.SendError(err)
+			continue
+		}
+		if err := conn.Send(TypeAuditResponse, resp); err != nil {
+			log.Printf("agent: send report: %v", err)
+			return
+		}
+	}
+}
+
+// runAudit executes §2 Steps 2–6 for one client specification.
+func (a *Agent) runAudit(req *AuditRequest) (*AuditResponse, error) {
+	if len(req.Sources) == 0 {
+		return nil, fmt.Errorf("agent: audit request lists no data sources")
+	}
+	if len(req.Deployments) == 0 {
+		return nil, fmt.Errorf("agent: audit request lists no deployments")
+	}
+	// Steps 2–3: query every data source for its dependency records.
+	db := depdb.New()
+	for _, addr := range req.Sources {
+		if err := collectFrom(addr, req, db); err != nil {
+			return nil, err
+		}
+	}
+	// Step 4/5 (SIA path): build and audit each deployment alternative.
+	algo, err := algorithmFromName(req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	kinds, err := kindsFromNames(req.Kinds)
+	if err != nil {
+		return nil, err
+	}
+	opts := sia.Options{Algorithm: algo, Rounds: req.Rounds, RankMode: sia.RankBySize}
+	var prob func(string) float64
+	if req.FailureProb > 0 {
+		if req.FailureProb > 1 {
+			return nil, fmt.Errorf("agent: failure probability %v out of range", req.FailureProb)
+		}
+		p := req.FailureProb
+		prob = func(string) float64 { return p }
+		opts.RankMode = sia.RankByProb
+	}
+	var specs []sia.GraphSpec
+	for _, d := range req.Deployments {
+		if d.Name == "" || len(d.Servers) == 0 {
+			return nil, fmt.Errorf("agent: deployment needs a name and servers: %+v", d)
+		}
+		specs = append(specs, sia.GraphSpec{
+			Deployment: d.Name,
+			Servers:    d.Servers,
+			Needed:     d.Needed,
+			Kinds:      kinds,
+			Prob:       prob,
+		})
+	}
+	rep, err := sia.AuditDeployments(db, req.Title, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Step 6: serialize the ranked report.
+	resp := &AuditResponse{Title: rep.Title}
+	for _, audit := range rep.Audits {
+		wa := DeploymentAudit{
+			Deployment: audit.Deployment,
+			Expected:   audit.Expected,
+			Unexpected: audit.Unexpected,
+			Score:      audit.Score,
+		}
+		if !math.IsNaN(audit.FailureProb) {
+			p := audit.FailureProb
+			wa.FailureProb = &p
+		}
+		for _, rg := range audit.RGs {
+			wa.RGs = append(wa.RGs, rg.Components)
+		}
+		resp.Audits = append(resp.Audits, wa)
+	}
+	return resp, nil
+}
+
+func collectFrom(addr string, req *AuditRequest, db *depdb.DB) error {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(TypeCollectRequest, CollectRequest{Kinds: req.Kinds}); err != nil {
+		return err
+	}
+	var resp CollectResponse
+	if err := conn.Expect(TypeCollectResponse, &resp); err != nil {
+		return fmt.Errorf("agent: collecting from %s: %w", addr, err)
+	}
+	for _, wr := range resp.Records {
+		rec, err := FromWire(wr)
+		if err != nil {
+			return fmt.Errorf("agent: bad record from %s: %w", addr, err)
+		}
+		if err := db.Put(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Client is the auditing client library (Alice in Fig. 1).
+type Client struct {
+	conn *wire.Conn
+}
+
+// NewClient connects to an auditing agent.
+func NewClient(agentAddr string) (*Client, error) {
+	conn, err := wire.Dial(agentAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close disconnects from the agent.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Audit submits a specification (§2 Step 1) and waits for the report.
+func (c *Client) Audit(req AuditRequest) (*AuditResponse, error) {
+	if err := c.conn.Send(TypeAuditRequest, req); err != nil {
+		return nil, err
+	}
+	var resp AuditResponse
+	if err := c.conn.Expect(TypeAuditResponse, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,136 @@
+package agent
+
+import (
+	"fmt"
+	"log"
+
+	"indaas/internal/deps"
+	"indaas/internal/wire"
+)
+
+// Acquirer is a pluggable dependency acquisition module (§3): anything that
+// can produce Table 1 records — the netflow miner, the hardware inventory
+// walker, the package resolver, or canned data.
+type Acquirer interface {
+	// Collect returns dependency records for the requested subjects (empty
+	// means all known subjects).
+	Collect(subjects []string) ([]deps.Record, error)
+}
+
+// AcquirerFunc adapts a function to the Acquirer interface.
+type AcquirerFunc func(subjects []string) ([]deps.Record, error)
+
+// Collect implements Acquirer.
+func (f AcquirerFunc) Collect(subjects []string) ([]deps.Record, error) { return f(subjects) }
+
+// StaticAcquirer serves a fixed record set, filtered by subject.
+type StaticAcquirer []deps.Record
+
+// Collect implements Acquirer.
+func (a StaticAcquirer) Collect(subjects []string) ([]deps.Record, error) {
+	if len(subjects) == 0 {
+		return a, nil
+	}
+	want := make(map[string]bool, len(subjects))
+	for _, s := range subjects {
+		want[s] = true
+	}
+	var out []deps.Record
+	for _, r := range a {
+		if want[r.Subject()] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Source is a data source server: it runs the provider's dependency
+// acquisition modules on demand and returns the adapted records to the
+// auditing agent (§2 Steps 3 and 5).
+type Source struct {
+	srv       *Server
+	acquirers []Acquirer
+}
+
+// NewSource starts a data source server on addr (use "127.0.0.1:0" for an
+// ephemeral port) serving the given acquisition modules.
+func NewSource(addr string, acquirers ...Acquirer) (*Source, error) {
+	if len(acquirers) == 0 {
+		return nil, fmt.Errorf("agent: source needs at least one acquisition module")
+	}
+	src := &Source{acquirers: acquirers}
+	srv, err := newServer(addr, src.handle)
+	if err != nil {
+		return nil, err
+	}
+	src.srv = srv
+	return src, nil
+}
+
+// Addr returns the source's listen address.
+func (s *Source) Addr() string { return s.srv.Addr() }
+
+// Close shuts the source down.
+func (s *Source) Close() error { return s.srv.Close() }
+
+func (s *Source) handle(conn *wire.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return // connection closed
+		}
+		if msg.Type != TypeCollectRequest {
+			_ = conn.SendError(fmt.Errorf("unexpected message %q", msg.Type))
+			return
+		}
+		var req CollectRequest
+		if err := msg.Decode(&req); err != nil {
+			_ = conn.SendError(err)
+			return
+		}
+		records, err := s.collect(req)
+		if err != nil {
+			_ = conn.SendError(err)
+			continue
+		}
+		resp := CollectResponse{Records: make([]WireRecord, 0, len(records))}
+		for _, r := range records {
+			resp.Records = append(resp.Records, ToWire(r))
+		}
+		if err := conn.Send(TypeCollectResponse, resp); err != nil {
+			log.Printf("agent: source send: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Source) collect(req CollectRequest) ([]deps.Record, error) {
+	kinds, err := kindsFromNames(req.Kinds)
+	if err != nil {
+		return nil, err
+	}
+	wantKind := func(k deps.Kind) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, kk := range kinds {
+			if kk == k {
+				return true
+			}
+		}
+		return false
+	}
+	var out []deps.Record
+	for _, a := range s.acquirers {
+		records, err := a.Collect(req.Subjects)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range records {
+			if wantKind(r.Kind) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+// Package audittrail implements the paper's §5.2 accountability mechanism:
+// "trust but leave an audit trail". A cloud provider participating in PIA
+// might under-declare its component-set to appear more independent; to deter
+// this, every provider commits to the exact dataset it fed into each P-SOP
+// run — a signed Merkle root over the normalized component-set — and a
+// specially-authorized authority can later "meta-audit" the run by having
+// the provider reveal the dataset (or individual elements with inclusion
+// proofs) and checking it against the commitment. A persistently dishonest
+// participant risks eventually getting caught.
+package audittrail
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Commitment is a provider's signed record of one PIA run's input.
+type Commitment struct {
+	Provider string
+	RunID    string
+	// Root is the Merkle root of the canonicalized dataset.
+	Root []byte
+	// Count is the number of distinct elements committed to.
+	Count int
+	// At is the commitment time.
+	At time.Time
+	// PublicKey and Signature authenticate the record.
+	PublicKey ed25519.PublicKey
+	Signature []byte
+}
+
+// Signer holds a provider's signing identity.
+type Signer struct {
+	provider string
+	priv     ed25519.PrivateKey
+	pub      ed25519.PublicKey
+}
+
+// NewSigner generates a fresh signing identity for a provider.
+func NewSigner(provider string) (*Signer, error) {
+	if provider == "" {
+		return nil, fmt.Errorf("audittrail: provider name required")
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("audittrail: generating key: %w", err)
+	}
+	return &Signer{provider: provider, priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the signer's verification key, to be registered with
+// the meta-audit authority out of band.
+func (s *Signer) PublicKey() ed25519.PublicKey { return s.pub }
+
+// Commit signs the dataset used in a PIA run.
+func (s *Signer) Commit(runID string, dataset []string, at time.Time) (*Commitment, error) {
+	if runID == "" {
+		return nil, fmt.Errorf("audittrail: run ID required")
+	}
+	canon := canonicalize(dataset)
+	if len(canon) == 0 {
+		return nil, fmt.Errorf("audittrail: empty dataset")
+	}
+	root := merkleRoot(canon)
+	c := &Commitment{
+		Provider:  s.provider,
+		RunID:     runID,
+		Root:      root,
+		Count:     len(canon),
+		At:        at.UTC().Truncate(time.Second),
+		PublicKey: s.pub,
+	}
+	c.Signature = ed25519.Sign(s.priv, c.message())
+	return c, nil
+}
+
+// message is the canonical signed byte string.
+func (c *Commitment) message() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("indaas-pia-commitment\x00")
+	buf.WriteString(c.Provider)
+	buf.WriteByte(0)
+	buf.WriteString(c.RunID)
+	buf.WriteByte(0)
+	buf.Write(c.Root)
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], uint64(c.Count))
+	buf.Write(cnt[:])
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(c.At.Unix()))
+	buf.Write(ts[:])
+	return buf.Bytes()
+}
+
+// Verify checks the commitment's signature.
+func (c *Commitment) Verify() error {
+	if len(c.PublicKey) != ed25519.PublicKeySize {
+		return fmt.Errorf("audittrail: bad public key size %d", len(c.PublicKey))
+	}
+	if !ed25519.Verify(c.PublicKey, c.message(), c.Signature) {
+		return fmt.Errorf("audittrail: signature verification failed for %s/%s", c.Provider, c.RunID)
+	}
+	return nil
+}
+
+// MetaAudit verifies a full dataset reveal against a commitment: the
+// signature must check out and the revealed dataset must hash to the
+// committed root with the committed cardinality. This is the "IRS-style"
+// spot check of §5.2.
+func MetaAudit(c *Commitment, revealed []string) error {
+	if err := c.Verify(); err != nil {
+		return err
+	}
+	canon := canonicalize(revealed)
+	if len(canon) != c.Count {
+		return fmt.Errorf("audittrail: revealed %d distinct elements, committed to %d", len(canon), c.Count)
+	}
+	if !bytes.Equal(merkleRoot(canon), c.Root) {
+		return fmt.Errorf("audittrail: revealed dataset does not match the committed root")
+	}
+	return nil
+}
+
+// Proof is a Merkle inclusion proof for one element, allowing a provider to
+// demonstrate that a specific component was part of a committed dataset
+// without revealing the rest.
+type Proof struct {
+	Element string
+	// Index is the leaf position in the canonicalized dataset.
+	Index int
+	// Siblings are the hashes combined bottom-up; Left[i] tells whether
+	// Siblings[i] is the left operand.
+	Siblings [][]byte
+	Left     []bool
+}
+
+// Prove builds an inclusion proof for element within dataset.
+func Prove(dataset []string, element string) (*Proof, error) {
+	canon := canonicalize(dataset)
+	idx := sort.SearchStrings(canon, element)
+	if idx >= len(canon) || canon[idx] != element {
+		return nil, fmt.Errorf("audittrail: element not in dataset")
+	}
+	level := leafHashes(canon)
+	proof := &Proof{Element: element, Index: idx}
+	pos := idx
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib >= len(level) {
+			sib = pos // odd node duplicated
+		}
+		proof.Siblings = append(proof.Siblings, level[sib])
+		proof.Left = append(proof.Left, sib < pos)
+		level = nextLevel(level)
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// VerifyProof checks an inclusion proof against a committed root.
+func VerifyProof(root []byte, p *Proof) bool {
+	if p == nil {
+		return false
+	}
+	if len(p.Siblings) != len(p.Left) {
+		return false
+	}
+	h := leafHash(p.Element)
+	for i, sib := range p.Siblings {
+		if p.Left[i] {
+			h = nodeHash(sib, h)
+		} else {
+			h = nodeHash(h, sib)
+		}
+	}
+	return bytes.Equal(h, root)
+}
+
+// canonicalize sorts and deduplicates a dataset.
+func canonicalize(dataset []string) []string {
+	out := append([]string(nil), dataset...)
+	sort.Strings(out)
+	dedup := out[:0]
+	for i, e := range out {
+		if i == 0 || out[i-1] != e {
+			dedup = append(dedup, e)
+		}
+	}
+	return dedup
+}
+
+func leafHash(e string) []byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write([]byte(e))
+	return h.Sum(nil)
+}
+
+func nodeHash(l, r []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l)
+	h.Write(r)
+	return h.Sum(nil)
+}
+
+func leafHashes(canon []string) [][]byte {
+	out := make([][]byte, len(canon))
+	for i, e := range canon {
+		out[i] = leafHash(e)
+	}
+	return out
+}
+
+func nextLevel(level [][]byte) [][]byte {
+	out := make([][]byte, 0, (len(level)+1)/2)
+	for i := 0; i < len(level); i += 2 {
+		if i+1 < len(level) {
+			out = append(out, nodeHash(level[i], level[i+1]))
+		} else {
+			out = append(out, nodeHash(level[i], level[i])) // duplicate odd node
+		}
+	}
+	return out
+}
+
+// merkleRoot computes the root over the canonical dataset.
+func merkleRoot(canon []string) []byte {
+	level := leafHashes(canon)
+	for len(level) > 1 {
+		level = nextLevel(level)
+	}
+	return level[0]
+}
+
+// MerkleRoot exposes the root computation (canonicalizing first) for tests
+// and external verifiers.
+func MerkleRoot(dataset []string) []byte {
+	canon := canonicalize(dataset)
+	if len(canon) == 0 {
+		return nil
+	}
+	return merkleRoot(canon)
+}

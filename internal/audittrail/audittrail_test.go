@@ -1,0 +1,183 @@
+package audittrail
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var when = time.Date(2014, 10, 6, 12, 0, 0, 0, time.UTC) // OSDI'14
+
+func dataset() []string {
+	return []string{"pkg:libssl=1.0.1k", "pkg:libc6=2.19", "c1/router-a", "c1/db", "c1/cache"}
+}
+
+func TestCommitAndVerify(t *testing.T) {
+	s, err := NewSigner("Cloud1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Commit("run-1", dataset(), when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if c.Count != 5 || c.Provider != "Cloud1" {
+		t.Errorf("commitment header: %+v", c)
+	}
+	// Dataset order must not matter.
+	shuffled := []string{"c1/db", "pkg:libc6=2.19", "c1/cache", "pkg:libssl=1.0.1k", "c1/router-a"}
+	c2, err := s.Commit("run-1", shuffled, when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Root, c2.Root) {
+		t.Error("root depends on element order")
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	s, err := NewSigner("Cloud1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit("", dataset(), when); err == nil {
+		t.Error("empty run ID accepted")
+	}
+	if _, err := s.Commit("r", nil, when); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := NewSigner(""); err == nil {
+		t.Error("unnamed signer accepted")
+	}
+}
+
+func TestTamperedCommitmentRejected(t *testing.T) {
+	s, err := NewSigner("Cloud1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Commit("run-1", dataset(), when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Commitment){
+		func(c *Commitment) { c.Provider = "Cloud2" },
+		func(c *Commitment) { c.RunID = "run-2" },
+		func(c *Commitment) { c.Count = 4 },
+		func(c *Commitment) { c.Root[0] ^= 1 },
+		func(c *Commitment) { c.At = c.At.Add(time.Hour) },
+		func(c *Commitment) { c.Signature[0] ^= 1 },
+		func(c *Commitment) { c.PublicKey = c.PublicKey[:16] },
+	}
+	for i, mutate := range cases {
+		cp := *c
+		cp.Root = append([]byte(nil), c.Root...)
+		cp.Signature = append([]byte(nil), c.Signature...)
+		cp.PublicKey = append([]byte(nil), c.PublicKey...)
+		mutate(&cp)
+		if err := cp.Verify(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMetaAudit(t *testing.T) {
+	s, err := NewSigner("Cloud1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset()
+	c, err := s.Commit("run-1", ds, when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MetaAudit(c, ds); err != nil {
+		t.Fatalf("honest reveal rejected: %v", err)
+	}
+	// The §5.2 attack: a provider under-declares its dataset to look more
+	// independent, then cannot produce a matching reveal.
+	if err := MetaAudit(c, ds[:4]); err == nil {
+		t.Error("under-declared reveal accepted")
+	}
+	swapped := append([]string(nil), ds...)
+	swapped[0] = "pkg:libssl=1.0.2"
+	if err := MetaAudit(c, swapped); err == nil {
+		t.Error("substituted reveal accepted")
+	}
+}
+
+func TestInclusionProofs(t *testing.T) {
+	ds := dataset()
+	root := MerkleRoot(ds)
+	for _, e := range ds {
+		p, err := Prove(ds, e)
+		if err != nil {
+			t.Fatalf("Prove(%s): %v", e, err)
+		}
+		if !VerifyProof(root, p) {
+			t.Errorf("proof for %s rejected", e)
+		}
+		// Proof must not verify for a different element.
+		p.Element = "pkg:evil=1"
+		if VerifyProof(root, p) {
+			t.Error("forged element accepted")
+		}
+	}
+	if _, err := Prove(ds, "not-present"); err == nil {
+		t.Error("proof for absent element produced")
+	}
+	if VerifyProof(root, nil) {
+		t.Error("nil proof accepted")
+	}
+}
+
+func TestInclusionProofProperty(t *testing.T) {
+	f := func(raw []uint16, pick uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ds := make([]string, len(raw))
+		for i, v := range raw {
+			ds[i] = fmt.Sprintf("comp-%d", v%64)
+		}
+		root := MerkleRoot(ds)
+		target := ds[int(pick)%len(ds)]
+		p, err := Prove(ds, target)
+		if err != nil {
+			return false
+		}
+		if !VerifyProof(root, p) {
+			return false
+		}
+		// Tampering with any sibling must break the proof (unless the
+		// dataset has a single element and no siblings exist).
+		if len(p.Siblings) > 0 {
+			p.Siblings[0][0] ^= 1
+			if VerifyProof(root, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerkleRootEdgeCases(t *testing.T) {
+	if MerkleRoot(nil) != nil {
+		t.Error("empty dataset should have nil root")
+	}
+	one := MerkleRoot([]string{"only"})
+	if len(one) == 0 {
+		t.Error("single-element root missing")
+	}
+	if !bytes.Equal(MerkleRoot([]string{"a", "a", "b"}), MerkleRoot([]string{"b", "a"})) {
+		t.Error("duplicates should not change the root")
+	}
+}

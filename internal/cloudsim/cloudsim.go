@@ -1,0 +1,242 @@
+// Package cloudsim simulates a small IaaS cloud with OpenStack-style
+// virtual machine management — the substrate of the paper's second case
+// study (§6.2.2, Fig. 6b): physical servers behind top-of-rack switches and
+// redundant cores, VMs placed by a pluggable scheduler, and services
+// deployed across VMs.
+package cloudsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"indaas/internal/deps"
+)
+
+// Server is a physical host.
+type Server struct {
+	Name string
+	// ToR is the top-of-rack switch the server uplinks through.
+	ToR string
+}
+
+// VM is a virtual machine placed on a host.
+type VM struct {
+	Name string
+	// Group identifies the service the VM belongs to (used by
+	// anti-affinity placement).
+	Group string
+	Host  string
+}
+
+// Cloud is a small IaaS deployment: servers behind ToR switches, ToR
+// switches behind redundant core routers.
+type Cloud struct {
+	Servers []Server
+	// Cores are the redundant core routers every ToR uplinks through.
+	Cores []string
+	vms   map[string]VM
+	load  map[string]int // VMs per server
+	rng   *rand.Rand
+}
+
+// New creates a cloud. Every server's ToR must be non-empty; at least one
+// core is required.
+func New(servers []Server, cores []string, seed int64) (*Cloud, error) {
+	if len(servers) == 0 || len(cores) == 0 {
+		return nil, fmt.Errorf("cloudsim: need at least one server and one core")
+	}
+	seen := map[string]bool{}
+	for _, s := range servers {
+		if s.Name == "" || s.ToR == "" {
+			return nil, fmt.Errorf("cloudsim: server %+v needs name and ToR", s)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cloudsim: duplicate server %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	c := &Cloud{
+		Servers: append([]Server(nil), servers...),
+		Cores:   append([]string(nil), cores...),
+		vms:     make(map[string]VM),
+		load:    make(map[string]int),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	return c, nil
+}
+
+// FourServerLab builds the lab cloud of Fig. 6b: servers Server1..Server4,
+// Server1/Server2 behind Switch1, Server3/Server4 behind Switch2, both
+// switches uplinked through Core1 and Core2.
+func FourServerLab(seed int64) *Cloud {
+	c, err := New([]Server{
+		{Name: "Server1", ToR: "Switch1"},
+		{Name: "Server2", ToR: "Switch1"},
+		{Name: "Server3", ToR: "Switch2"},
+		{Name: "Server4", ToR: "Switch2"},
+	}, []string{"Core1", "Core2"}, seed)
+	if err != nil {
+		panic("cloudsim: FourServerLab is static and must not fail: " + err.Error())
+	}
+	return c
+}
+
+// Policy selects a host for a new VM.
+type Policy int
+
+const (
+	// LeastLoaded picks randomly among the servers with the fewest VMs —
+	// OpenStack's default behaviour the paper calls out: "the automatic
+	// virtual machine placement policy randomly selects from the least
+	// loaded resources to host a VM".
+	LeastLoaded Policy = iota
+	// AntiAffinity picks the least-loaded server that does not already host
+	// a VM of the same group (the fix the audit report motivates).
+	AntiAffinity
+)
+
+// Place creates a VM and schedules it per the policy. group identifies the
+// service for anti-affinity (ignored by LeastLoaded).
+func (c *Cloud) Place(vmName, group string, policy Policy) (VM, error) {
+	if _, dup := c.vms[vmName]; dup {
+		return VM{}, fmt.Errorf("cloudsim: duplicate VM %q", vmName)
+	}
+	var candidates []string
+	switch policy {
+	case LeastLoaded:
+		candidates = c.leastLoaded(nil)
+	case AntiAffinity:
+		exclude := map[string]bool{}
+		for _, vm := range c.vms {
+			if group != "" && vm.Group == group {
+				exclude[vm.Host] = true
+			}
+		}
+		candidates = c.leastLoaded(exclude)
+		if len(candidates) == 0 {
+			return VM{}, fmt.Errorf("cloudsim: anti-affinity group %q cannot be satisfied", group)
+		}
+	default:
+		return VM{}, fmt.Errorf("cloudsim: unknown policy %d", int(policy))
+	}
+	host := candidates[c.rng.Intn(len(candidates))]
+	return c.placeOn(vmName, group, host)
+}
+
+// PlaceOn pins a VM to a specific host (used to model pre-existing load and
+// audited re-deployments).
+func (c *Cloud) PlaceOn(vmName, host string) (VM, error) {
+	if _, dup := c.vms[vmName]; dup {
+		return VM{}, fmt.Errorf("cloudsim: duplicate VM %q", vmName)
+	}
+	return c.placeOn(vmName, "", host)
+}
+
+func (c *Cloud) placeOn(vmName, group, host string) (VM, error) {
+	if _, ok := c.server(host); !ok {
+		return VM{}, fmt.Errorf("cloudsim: unknown host %q", host)
+	}
+	vm := VM{Name: vmName, Group: group, Host: host}
+	c.vms[vmName] = vm
+	c.load[host]++
+	return vm, nil
+}
+
+// Migrate moves an existing VM to a new host.
+func (c *Cloud) Migrate(vmName, newHost string) error {
+	vm, ok := c.vms[vmName]
+	if !ok {
+		return fmt.Errorf("cloudsim: unknown VM %q", vmName)
+	}
+	if _, ok := c.server(newHost); !ok {
+		return fmt.Errorf("cloudsim: unknown host %q", newHost)
+	}
+	c.load[vm.Host]--
+	vm.Host = newHost
+	c.vms[vmName] = vm
+	c.load[newHost]++
+	return nil
+}
+
+// VMOf returns a placed VM.
+func (c *Cloud) VMOf(name string) (VM, bool) {
+	vm, ok := c.vms[name]
+	return vm, ok
+}
+
+// Load returns the number of VMs on a server.
+func (c *Cloud) Load(server string) int { return c.load[server] }
+
+func (c *Cloud) server(name string) (Server, bool) {
+	for _, s := range c.Servers {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Server{}, false
+}
+
+// leastLoaded returns the non-excluded servers with minimal load, sorted.
+func (c *Cloud) leastLoaded(exclude map[string]bool) []string {
+	best := -1
+	var out []string
+	for _, s := range c.Servers {
+		if exclude[s.Name] {
+			continue
+		}
+		l := c.load[s.Name]
+		switch {
+		case best == -1 || l < best:
+			best = l
+			out = out[:0]
+			out = append(out, s.Name)
+		case l == best:
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependencyRecords emits the Table 1 records for a VM: its network routes
+// (via the host's ToR and each redundant core) and its hardware dependency
+// on the host server. The VM name itself appears as a hardware component of
+// type "VM" so VM-level failures are auditable (the {VM7, VM8} risk group
+// of §6.2.2).
+func (c *Cloud) DependencyRecords(vmName string) ([]deps.Record, error) {
+	vm, ok := c.vms[vmName]
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: unknown VM %q", vmName)
+	}
+	srv, ok := c.server(vm.Host)
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: VM %q host %q vanished", vmName, vm.Host)
+	}
+	var out []deps.Record
+	for _, core := range c.Cores {
+		out = append(out, deps.NewNetwork(vmName, "Internet", srv.ToR, core))
+	}
+	out = append(out,
+		deps.NewHardware(vmName, "VM", vmName),
+		deps.NewHardware(vmName, "Host", srv.Name),
+	)
+	return out, nil
+}
+
+// ServerPairs lists every unordered pair of distinct servers, in
+// lexicographic order — the candidate two-way redundancy deployments.
+func (c *Cloud) ServerPairs() [][2]string {
+	names := make([]string, len(c.Servers))
+	for i, s := range c.Servers {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	var out [][2]string
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			out = append(out, [2]string{names[i], names[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package cloudsim
+
+import (
+	"reflect"
+	"testing"
+
+	"indaas/internal/deps"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, []string{"c"}, 1); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := New([]Server{{Name: "S1", ToR: "T1"}}, nil, 1); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := New([]Server{{Name: "S1"}}, []string{"c"}, 1); err == nil {
+		t.Error("server without ToR accepted")
+	}
+	if _, err := New([]Server{{Name: "S1", ToR: "T"}, {Name: "S1", ToR: "T"}}, []string{"c"}, 1); err == nil {
+		t.Error("duplicate server accepted")
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	c := FourServerLab(1)
+	// Model the pre-existing load of §6.2.2: six unrelated VMs pinned so
+	// that Server2 is idle.
+	for _, pin := range []struct{ vm, host string }{
+		{"web-vm1", "Server1"}, {"web-vm2", "Server1"},
+		{"batch-vm3", "Server3"}, {"batch-vm4", "Server3"},
+		{"db-vm5", "Server4"}, {"db-vm6", "Server4"},
+	} {
+		if _, err := c.PlaceOn(pin.vm, pin.host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// OpenStack-style least-loaded placement now puts both Riak VMs on
+	// Server2 — the correlated placement the audit catches.
+	vm7, err := c.Place("riak-vm7", "riak", LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm8, err := c.Place("riak-vm8", "riak", LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm7.Host != "Server2" || vm8.Host != "Server2" {
+		t.Errorf("VM7 on %s, VM8 on %s; want both on Server2", vm7.Host, vm8.Host)
+	}
+	if c.Load("Server2") != 2 {
+		t.Errorf("Server2 load = %d", c.Load("Server2"))
+	}
+}
+
+func TestAntiAffinityPlacement(t *testing.T) {
+	c := FourServerLab(1)
+	vm1, err := c.Place("riak-vm1", "riak", AntiAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := c.Place("riak-vm2", "riak", AntiAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Host == vm2.Host {
+		t.Errorf("anti-affinity placed both VMs on %s", vm1.Host)
+	}
+	// Exhaust the four servers; the fifth placement must fail.
+	if _, err := c.Place("riak-vm3", "riak", AntiAffinity); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place("riak-vm4", "riak", AntiAffinity); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place("riak-vm5", "riak", AntiAffinity); err == nil {
+		t.Error("anti-affinity over capacity accepted")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	c := FourServerLab(1)
+	if _, err := c.Place("vm", "g", Policy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := c.PlaceOn("vm", "nope"); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if _, err := c.PlaceOn("vm", "Server1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceOn("vm", "Server2"); err == nil {
+		t.Error("duplicate VM accepted")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	c := FourServerLab(1)
+	if _, err := c.PlaceOn("vm", "Server1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate("vm", "Server3"); err != nil {
+		t.Fatal(err)
+	}
+	vm, ok := c.VMOf("vm")
+	if !ok || vm.Host != "Server3" {
+		t.Errorf("after migrate: %+v", vm)
+	}
+	if c.Load("Server1") != 0 || c.Load("Server3") != 1 {
+		t.Error("loads not updated by migration")
+	}
+	if err := c.Migrate("ghost", "Server1"); err == nil {
+		t.Error("migrating unknown VM accepted")
+	}
+	if err := c.Migrate("vm", "nowhere"); err == nil {
+		t.Error("migrating to unknown host accepted")
+	}
+}
+
+func TestDependencyRecords(t *testing.T) {
+	c := FourServerLab(1)
+	if _, err := c.PlaceOn("riak-vm7", "Server2"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.DependencyRecords("riak-vm7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nets, hws int
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Errorf("invalid record %v: %v", r, err)
+		}
+		switch r.Kind {
+		case deps.KindNetwork:
+			nets++
+			if r.Network.Route[0] != "Switch1" {
+				t.Errorf("route %v should start at Switch1", r.Network.Route)
+			}
+		case deps.KindHardware:
+			hws++
+		}
+	}
+	if nets != 2 { // one route per core
+		t.Errorf("network records = %d, want 2", nets)
+	}
+	if hws != 2 { // VM itself + host
+		t.Errorf("hardware records = %d, want 2", hws)
+	}
+	if _, err := c.DependencyRecords("ghost"); err == nil {
+		t.Error("unknown VM accepted")
+	}
+}
+
+func TestServerPairs(t *testing.T) {
+	c := FourServerLab(1)
+	pairs := c.ServerPairs()
+	if len(pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(pairs))
+	}
+	if !reflect.DeepEqual(pairs[0], [2]string{"Server1", "Server2"}) {
+		t.Errorf("first pair = %v", pairs[0])
+	}
+}
+
+func TestVMGroupStored(t *testing.T) {
+	c := FourServerLab(1)
+	vm, err := c.Place("VM7", "riak", LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Group != "riak" {
+		t.Errorf("VM group = %q, want riak", vm.Group)
+	}
+	pinned, err := c.PlaceOn("VM9", "Server1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Group != "" {
+		t.Errorf("pinned VM group = %q, want empty", pinned.Group)
+	}
+}

@@ -1,0 +1,149 @@
+package commutative
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func group512(t *testing.T) *Group {
+	t.Helper()
+	g, err := NewGroup(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuiltinGroups(t *testing.T) {
+	for _, bits := range []int{1024, 2048} {
+		g, err := NewGroup(bits)
+		if err != nil {
+			t.Fatalf("NewGroup(%d): %v", bits, err)
+		}
+		if g.P.BitLen() != bits {
+			t.Errorf("group modulus has %d bits, want %d", g.P.BitLen(), bits)
+		}
+		if !g.P.ProbablyPrime(20) {
+			t.Errorf("%d-bit builtin modulus not prime", bits)
+		}
+		// Safe prime: (p−1)/2 is prime.
+		q := new(big.Int).Rsh(new(big.Int).Sub(g.P, big.NewInt(1)), 1)
+		if !q.ProbablyPrime(20) {
+			t.Errorf("%d-bit builtin modulus is not a safe prime", bits)
+		}
+	}
+	if _, err := NewGroup(64); err == nil {
+		t.Error("tiny modulus accepted")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	g := group512(t)
+	k, err := g.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range []string{"libc6=2.19", "router:203.0.113.7", "", "x"} {
+		x := g.HashToGroup([]byte(data))
+		c := k.Encrypt(x)
+		if c.Cmp(x) == 0 {
+			t.Errorf("ciphertext equals plaintext for %q", data)
+		}
+		if got := k.Decrypt(c); got.Cmp(x) != 0 {
+			t.Errorf("round trip failed for %q", data)
+		}
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	g := group512(t)
+	k1, err := g.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := g.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := g.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := g.HashToGroup([]byte("shared component"))
+	a := k3.Encrypt(k2.Encrypt(k1.Encrypt(x)))
+	b := k1.Encrypt(k3.Encrypt(k2.Encrypt(x)))
+	c := k2.Encrypt(k1.Encrypt(k3.Encrypt(x)))
+	if a.Cmp(b) != 0 || b.Cmp(c) != 0 {
+		t.Error("encryption order changed the result")
+	}
+	// Peeling off in any order recovers x.
+	if got := k1.Decrypt(k2.Decrypt(k3.Decrypt(a))); got.Cmp(x) != 0 {
+		t.Error("decrypt composition failed")
+	}
+	if got := k3.Decrypt(k1.Decrypt(k2.Decrypt(a))); got.Cmp(x) != 0 {
+		t.Error("out-of-order decrypt composition failed")
+	}
+}
+
+func TestDeterministicEquality(t *testing.T) {
+	// The PSI-critical property: same plaintext, same key set → same
+	// ciphertext; different plaintexts → different ciphertexts.
+	g := group512(t)
+	k1, _ := g.GenerateKey(rand.Reader)
+	k2, _ := g.GenerateKey(rand.Reader)
+	x := g.HashToGroup([]byte("pkg:libssl=1.0.1"))
+	y := g.HashToGroup([]byte("pkg:libssl=1.0.2"))
+	if k2.Encrypt(k1.Encrypt(x)).Cmp(k1.Encrypt(k2.Encrypt(x))) != 0 {
+		t.Error("equal plaintexts should collide under the same key set")
+	}
+	if k2.Encrypt(k1.Encrypt(x)).Cmp(k2.Encrypt(k1.Encrypt(y))) == 0 {
+		t.Error("different plaintexts collided")
+	}
+}
+
+func TestHashToGroup(t *testing.T) {
+	g := group512(t)
+	a := g.HashToGroup([]byte("a"))
+	b := g.HashToGroup([]byte("b"))
+	if a.Cmp(b) == 0 {
+		t.Error("distinct inputs hashed equal")
+	}
+	if a.Cmp(big.NewInt(2)) < 0 || a.Cmp(g.P) >= 0 {
+		t.Error("hash out of range")
+	}
+	if g.HashToGroup([]byte("a")).Cmp(a) != 0 {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	g := group512(t)
+	x := g.HashToGroup([]byte("serialize me"))
+	b := g.Bytes(x)
+	if len(b) != g.CiphertextSize() {
+		t.Fatalf("serialized to %d bytes, want %d", len(b), g.CiphertextSize())
+	}
+	y, err := g.FromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cmp(y) != 0 {
+		t.Error("serialization round trip failed")
+	}
+	if _, err := g.FromBytes(b[:3]); err == nil {
+		t.Error("short input accepted")
+	}
+	tooBig := bytes.Repeat([]byte{0xff}, g.CiphertextSize())
+	if _, err := g.FromBytes(tooBig); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}
+
+func TestKeyGenRejectsBadReader(t *testing.T) {
+	g := group512(t)
+	if _, err := g.GenerateKey(bytes.NewReader(nil)); err == nil {
+		t.Error("empty randomness source accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package paillier implements the Paillier additively-homomorphic
+// cryptosystem, the building block of the Kissner–Song private set
+// operation protocol the paper benchmarks PIA against (§6.3.2, [38]).
+//
+// Supported homomorphic operations: Add (ciphertext × ciphertext ↦ sum of
+// plaintexts) and MulConst (ciphertext ^ constant ↦ product of plaintext and
+// constant) — enough to evaluate encrypted polynomials by Horner's rule.
+package paillier
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// PublicKey encrypts and performs homomorphic arithmetic.
+type PublicKey struct {
+	N  *big.Int // modulus, product of two primes
+	N2 *big.Int // N²
+}
+
+// PrivateKey decrypts.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p−1, q−1)
+	mu     *big.Int // (L(g^lambda mod N²))⁻¹ mod N
+}
+
+// GenerateKey creates a key pair with an N of the given bit size.
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("paillier: modulus of %d bits is too small", bits)
+	}
+	for tries := 0; tries < 100; tries++ {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(rng, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		n2 := new(big.Int).Mul(n, n)
+		// With g = N+1: L(g^λ mod N²) = λ mod N, so μ = λ⁻¹ mod N.
+		mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+	return nil, fmt.Errorf("paillier: key generation failed")
+}
+
+// Encrypt encrypts m ∈ [0, N) with fresh randomness:
+// c = (1 + m·N) · r^N mod N².
+func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: plaintext out of range")
+	}
+	r, err := pk.randomUnit(rng)
+	if err != nil {
+		return nil, err
+	}
+	// (1 + m·N) mod N²
+	c := new(big.Int).Mul(m, pk.N)
+	c.Add(c, big.NewInt(1))
+	c.Mod(c, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return c, nil
+}
+
+func (pk *PublicKey) randomUnit(rng io.Reader) (*big.Int, error) {
+	one := big.NewInt(1)
+	for {
+		r, err := rand.Int(rng, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: drawing randomness: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Add returns a ciphertext of m1 + m2 mod N given ciphertexts of m1 and m2.
+func (pk *PublicKey) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// MulConst returns a ciphertext of k·m mod N given a ciphertext of m.
+// Negative constants are reduced mod N first.
+func (pk *PublicKey) MulConst(c, k *big.Int) *big.Int {
+	kk := new(big.Int).Mod(k, pk.N)
+	return new(big.Int).Exp(c, kk, pk.N2)
+}
+
+// EncryptZero returns a fresh encryption of zero (used for re-randomizing).
+func (pk *PublicKey) EncryptZero(rng io.Reader) (*big.Int, error) {
+	return pk.Encrypt(rng, big.NewInt(0))
+}
+
+// Decrypt recovers the plaintext: L(c^λ mod N²) · μ mod N, L(x) = (x−1)/N.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("paillier: ciphertext out of range")
+	}
+	x := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	x.Sub(x, big.NewInt(1))
+	x.Div(x, sk.N)
+	x.Mul(x, sk.mu)
+	x.Mod(x, sk.N)
+	return x, nil
+}
+
+// CiphertextSize returns the byte width of serialized ciphertexts.
+func (pk *PublicKey) CiphertextSize() int { return (pk.N2.BitLen() + 7) / 8 }

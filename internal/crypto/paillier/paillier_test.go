@@ -1,0 +1,183 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func key(t *testing.T) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 1, 2, 255, 65537, 1 << 40} {
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptRandomized(t *testing.T) {
+	sk := key(t)
+	m := big.NewInt(42)
+	c1, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cmp(c2) == 0 {
+		t.Error("Paillier must be probabilistic: two encryptions collided")
+	}
+}
+
+func TestEncryptRange(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Encrypt(rand.Reader, big.NewInt(-1)); err == nil {
+		t.Error("negative plaintext accepted")
+	}
+	if _, err := sk.Encrypt(rand.Reader, sk.N); err == nil {
+		t.Error("plaintext ≥ N accepted")
+	}
+}
+
+func TestDecryptRange(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Decrypt(big.NewInt(0)); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if _, err := sk.Decrypt(sk.N2); err == nil {
+		t.Error("ciphertext ≥ N² accepted")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	sk := key(t)
+	f := func(a, b uint32) bool {
+		ca, err := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		if err != nil {
+			return false
+		}
+		cb, err := sk.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		sum, err := sk.Decrypt(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return sum.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	sk := key(t)
+	c, err := sk.Encrypt(rand.Reader, big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sk.MulConst(c, big.NewInt(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("7 * 6 = %v", got)
+	}
+	// Negative constants wrap mod N.
+	neg, err := sk.Decrypt(sk.MulConst(c, big.NewInt(-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Sub(sk.N, big.NewInt(7))
+	if neg.Cmp(want) != 0 {
+		t.Errorf("7 * -1 = %v, want N-7", neg)
+	}
+}
+
+func TestHornerEvaluation(t *testing.T) {
+	// Evaluate P(x) = (x−3)(x−5) = x² −8x +15 homomorphically at 3, 5, 7.
+	sk := key(t)
+	coeffs := []*big.Int{big.NewInt(15), big.NewInt(-8), big.NewInt(1)} // low to high
+	enc := make([]*big.Int, len(coeffs))
+	for i, c := range coeffs {
+		e, err := sk.Encrypt(rand.Reader, new(big.Int).Mod(c, sk.N))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = e
+	}
+	eval := func(x int64) *big.Int {
+		// Horner from the top coefficient down: acc = acc*x + coeff.
+		acc := enc[len(enc)-1]
+		for i := len(enc) - 2; i >= 0; i-- {
+			acc = sk.Add(sk.MulConst(acc, big.NewInt(x)), enc[i])
+		}
+		v, err := sk.Decrypt(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := eval(3); v.Sign() != 0 {
+		t.Errorf("P(3) = %v, want 0", v)
+	}
+	if v := eval(5); v.Sign() != 0 {
+		t.Errorf("P(5) = %v, want 0", v)
+	}
+	if v := eval(7); v.Int64() != 8 {
+		t.Errorf("P(7) = %v, want 8", v)
+	}
+}
+
+func TestEncryptZero(t *testing.T) {
+	sk := key(t)
+	z, err := sk.EncryptZero(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sign() != 0 {
+		t.Errorf("EncryptZero decrypts to %v", got)
+	}
+}
+
+func TestGenerateKeyTooSmall(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 64); err == nil {
+		t.Error("64-bit modulus accepted")
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	sk := key(t)
+	c, err := sk.Encrypt(rand.Reader, big.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Bytes()) > sk.CiphertextSize() {
+		t.Errorf("ciphertext %d bytes exceeds declared size %d", len(c.Bytes()), sk.CiphertextSize())
+	}
+}

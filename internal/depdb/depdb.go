@@ -1,0 +1,152 @@
+// Package depdb implements DepDB, the dependency information database of §3.
+//
+// Dependency acquisition modules store their adapted records here; the
+// auditing agent queries it while building dependency graphs (§4.1.1
+// Steps 2-6). The store is safe for concurrent use, indexes records by
+// subject (the server a record is about) and kind, and can persist itself to
+// the Table 1 XML format.
+package depdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"indaas/internal/deps"
+)
+
+// DB is an in-memory dependency database with per-subject, per-kind indexes.
+// The zero value is not usable; call New.
+type DB struct {
+	mu      sync.RWMutex
+	records []deps.Record
+	// index[subject][kind] -> positions into records
+	index map[string]map[deps.Kind][]int
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{index: make(map[string]map[deps.Kind][]int)}
+}
+
+// Put validates and stores records. Either all records are stored or none.
+func (db *DB) Put(records ...deps.Record) error {
+	for i, r := range records {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("depdb: record %d: %w", i, err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range records {
+		pos := len(db.records)
+		db.records = append(db.records, r)
+		subj := r.Subject()
+		byKind := db.index[subj]
+		if byKind == nil {
+			byKind = make(map[deps.Kind][]int)
+			db.index[subj] = byKind
+		}
+		byKind[r.Kind] = append(byKind[r.Kind], pos)
+	}
+	return nil
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// Subjects returns every subject that has at least one record, sorted.
+func (db *DB) Subjects() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.index))
+	for s := range db.index {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query returns the records for subject of the given kind, in insertion
+// order. The returned slice is a copy.
+func (db *DB) Query(subject string, kind deps.Kind) []deps.Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	byKind, ok := db.index[subject]
+	if !ok {
+		return nil
+	}
+	positions := byKind[kind]
+	out := make([]deps.Record, 0, len(positions))
+	for _, p := range positions {
+		out = append(out, db.records[p])
+	}
+	return out
+}
+
+// QueryAll returns every record about subject, grouped network, hardware,
+// software (each group in insertion order).
+func (db *DB) QueryAll(subject string) []deps.Record {
+	var out []deps.Record
+	for _, k := range []deps.Kind{deps.KindNetwork, deps.KindHardware, deps.KindSoftware} {
+		out = append(out, db.Query(subject, k)...)
+	}
+	return out
+}
+
+// Records returns a copy of every stored record in insertion order.
+func (db *DB) Records() []deps.Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]deps.Record(nil), db.records...)
+}
+
+// Networks returns the network records for subject, unwrapped.
+func (db *DB) Networks(subject string) []deps.Network {
+	recs := db.Query(subject, deps.KindNetwork)
+	out := make([]deps.Network, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r.Network)
+	}
+	return out
+}
+
+// HardwareOf returns the hardware records for subject, unwrapped.
+func (db *DB) HardwareOf(subject string) []deps.Hardware {
+	recs := db.Query(subject, deps.KindHardware)
+	out := make([]deps.Hardware, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r.Hardware)
+	}
+	return out
+}
+
+// SoftwareOf returns the software records for subject, unwrapped.
+func (db *DB) SoftwareOf(subject string) []deps.Software {
+	recs := db.Query(subject, deps.KindSoftware)
+	out := make([]deps.Software, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r.Software)
+	}
+	return out
+}
+
+// WriteXML persists the whole database in the Table 1 XML format.
+func (db *DB) WriteXML(w io.Writer) error {
+	return deps.EncodeXML(w, db.Records())
+}
+
+// ReadXML loads records from the Table 1 XML format into the database,
+// appending to any existing content.
+func (db *DB) ReadXML(r io.Reader) error {
+	records, err := deps.DecodeXML(r)
+	if err != nil {
+		return err
+	}
+	return db.Put(records...)
+}

@@ -1,0 +1,118 @@
+package deps
+
+import (
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Normalization (§4.2.3): before private auditing, each provider maps its
+// component identifiers into a shared namespace so that the *same* third-party
+// component held by different providers compares equal, while provider-private
+// components keep provider-qualified names. The paper normalizes two classes:
+//
+//  1. third-party routing elements, identified by their accessible IP address;
+//  2. third-party software packages, identified by name plus version.
+//
+// A Normalizer carries the provider name (used to qualify private components)
+// and a directory of third-party identities.
+
+// Normalizer rewrites raw component identifiers into the shared namespace.
+type Normalizer struct {
+	// Provider qualifies identifiers that are private to this provider.
+	Provider string
+	// RouterIPs maps a locally-known router name to its public IP address.
+	// Routers without an entry are treated as provider-internal.
+	RouterIPs map[string]string
+	// SharedPackages marks package identifiers (name=version) that come from
+	// a public distribution and therefore normalize to themselves. Packages
+	// not listed are treated as provider-internal builds.
+	SharedPackages map[string]bool
+}
+
+// NewNormalizer returns a Normalizer for the named provider.
+func NewNormalizer(provider string) *Normalizer {
+	return &Normalizer{
+		Provider:       provider,
+		RouterIPs:      make(map[string]string),
+		SharedPackages: make(map[string]bool),
+	}
+}
+
+// AddRouter registers a third-party router's public IP. The IP must parse.
+func (n *Normalizer) AddRouter(name, ip string) error {
+	if net.ParseIP(ip) == nil {
+		return fmt.Errorf("deps: router %q has invalid IP %q", name, ip)
+	}
+	n.RouterIPs[name] = ip
+	return nil
+}
+
+// AddSharedPackage registers a package identifier as publicly shared.
+func (n *Normalizer) AddSharedPackage(id string) { n.SharedPackages[id] = true }
+
+// Router normalizes a routing element: third-party routers become
+// "router:<ip>", internal ones "<provider>/<name>".
+func (n *Normalizer) Router(name string) string {
+	if ip, ok := n.RouterIPs[name]; ok {
+		return "router:" + ip
+	}
+	return n.private(name)
+}
+
+// Package normalizes a software package identifier (expected "name=version"
+// or a bare name): shared packages become "pkg:<id>", internal ones
+// "<provider>/<id>".
+func (n *Normalizer) Package(id string) string {
+	if n.SharedPackages[id] {
+		return "pkg:" + id
+	}
+	return n.private(id)
+}
+
+func (n *Normalizer) private(id string) string {
+	if n.Provider == "" {
+		return id
+	}
+	return n.Provider + "/" + id
+}
+
+// ComponentSetFromRecords extracts the normalized component-set of a set of
+// dependency records (§4.2.3): routing elements from network records and
+// package identifiers from software records. Hardware model identifiers are
+// included as private components (the paper's PIA normalizes only routers and
+// packages; hardware models are provider-qualified, matching Fig. 3 where
+// model strings carry a server prefix).
+func (n *Normalizer) ComponentSetFromRecords(records []Record) ComponentSet {
+	set := make(ComponentSet)
+	for _, r := range records {
+		switch r.Kind {
+		case KindNetwork:
+			if r.Network == nil {
+				continue
+			}
+			for _, dev := range r.Network.Route {
+				set.Add(n.Router(dev))
+			}
+		case KindHardware:
+			if r.Hardware == nil {
+				continue
+			}
+			set.Add(n.private(r.Hardware.Dep))
+		case KindSoftware:
+			if r.Software == nil {
+				continue
+			}
+			for _, pkg := range r.Software.Dep {
+				set.Add(n.Package(pkg))
+			}
+		}
+	}
+	return set
+}
+
+// IsShared reports whether a normalized identifier denotes a third-party
+// (cross-provider comparable) component.
+func IsShared(normalized string) bool {
+	return strings.HasPrefix(normalized, "router:") || strings.HasPrefix(normalized, "pkg:")
+}

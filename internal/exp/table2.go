@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"indaas/internal/pia"
+	"indaas/internal/swpkg"
+)
+
+// Table2Entry is one row of the Table 2 reproduction.
+type Table2Entry struct {
+	Key      string // e.g. "1+2" for Cloud1 & Cloud2
+	Clouds   string // e.g. "Cloud1 & Cloud2"
+	Measured float64
+	Paper    float64
+}
+
+// Table2Result is the §6.2.3 / Table 2 reproduction.
+type Table2Result struct {
+	TwoWay   []Table2Entry // ranked ascending by measured Jaccard
+	ThreeWay []Table2Entry
+	// Protocol records how the similarities were computed.
+	Protocol string
+}
+
+// Table2Config tunes the experiment.
+type Table2Config struct {
+	// Protocol selects the PIA mechanism (default ProtocolPSOP with exact
+	// cardinalities, as in the paper's case study; ProtocolCleartext for
+	// fast validation runs).
+	Protocol pia.Protocol
+	// Bits is the commutative key size (default 1024; 512 speeds up tests).
+	Bits int
+}
+
+// RunTable2 reproduces Table 2: the four clouds run their software
+// dependency acquisition (apt-rdepends closures of Riak, MongoDB, Redis and
+// CouchDB), normalize the package identifiers, and PIA privately computes
+// and ranks the Jaccard similarity of every two- and three-way redundancy
+// deployment.
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	u, roots := swpkg.KeyValueStoreUniverse()
+	providers := make([]pia.Provider, len(roots))
+	for i, root := range roots {
+		ids, err := u.ClosureIDs(root)
+		if err != nil {
+			return nil, err
+		}
+		// §4.2.3 normalization: shared packages by name+version.
+		comps := make([]string, len(ids))
+		for j, id := range ids {
+			comps[j] = "pkg:" + id
+		}
+		providers[i] = pia.Provider{Name: fmt.Sprintf("Cloud%d", i+1), Components: comps}
+	}
+	piaCfg := pia.Config{Protocol: cfg.Protocol, Bits: cfg.Bits}
+	res := &Table2Result{Protocol: cfg.Protocol.String()}
+
+	run := func(deployments []pia.Deployment) ([]Table2Entry, error) {
+		rep, err := pia.AuditDeployments(piaCfg, providers, deployments)
+		if err != nil {
+			return nil, err
+		}
+		paper := swpkg.Table2Paper()
+		var out []Table2Entry
+		for _, e := range rep.Entries {
+			var idx []string
+			for _, name := range e.Providers {
+				idx = append(idx, strings.TrimPrefix(name, "Cloud"))
+			}
+			sort.Strings(idx)
+			key := strings.Join(idx, "+")
+			out = append(out, Table2Entry{
+				Key:      key,
+				Clouds:   strings.Join(e.Providers, " & "),
+				Measured: e.Jaccard,
+				Paper:    paper[key],
+			})
+		}
+		return out, nil
+	}
+	var err error
+	if res.TwoWay, err = run(pia.AllPairs(4)); err != nil {
+		return nil, err
+	}
+	if res.ThreeWay, err = run(pia.AllTriples(4)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats both ranking lists with paper values side by side.
+func (r *Table2Result) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2 — Jaccard ranking of redundancy deployments (§6.2.3, protocol=%s)", r.Protocol),
+		Header: []string{"Rank", "Redundancy Deployment", "Jaccard", "Paper"},
+	}
+	for i, e := range r.TwoWay {
+		t.Append(i+1, e.Clouds, e.Measured, e.Paper)
+	}
+	for i, e := range r.ThreeWay {
+		t.Append(i+1, e.Clouds, e.Measured, e.Paper)
+	}
+	return t
+}
+
+// Verify checks the acceptance criteria: every similarity within ±0.0035 of
+// the paper and both rankings identical. (The paper's ten values are
+// mutually inconsistent as exact Jaccards of four fixed sets — see
+// EXPERIMENTS.md — so a tolerance is inherent, not a shortcut.)
+func (r *Table2Result) Verify() error {
+	check := func(entries []Table2Entry, arity string) error {
+		for i, e := range entries {
+			if math.Abs(e.Measured-e.Paper) > 0.0035 {
+				return fmt.Errorf("table2: %s J(%s) = %.4f, paper %.4f", arity, e.Key, e.Measured, e.Paper)
+			}
+			if i > 0 && entries[i-1].Paper > e.Paper {
+				return fmt.Errorf("table2: %s ranking diverges from the paper at rank %d (%s)", arity, i+1, e.Key)
+			}
+		}
+		return nil
+	}
+	if len(r.TwoWay) != 6 || len(r.ThreeWay) != 4 {
+		return fmt.Errorf("table2: %d two-way, %d three-way entries", len(r.TwoWay), len(r.ThreeWay))
+	}
+	if err := check(r.TwoWay, "two-way"); err != nil {
+		return err
+	}
+	return check(r.ThreeWay, "three-way")
+}

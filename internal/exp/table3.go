@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"indaas/internal/topology"
+)
+
+// Table3Row is one generated topology configuration.
+type Table3Row struct {
+	Name     string
+	Ports    int
+	Counts   topology.Counts
+	Expected topology.Counts
+}
+
+// Table3Result reproduces Table 3: the three fat-tree configurations used
+// by the performance evaluation.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// table3Expected is the paper's Table 3.
+var table3Expected = []struct {
+	name  string
+	ports int
+	want  topology.Counts
+}{
+	{"Topology A", 16, topology.Counts{Cores: 64, Aggs: 128, ToRs: 128, Servers: 1024}},
+	{"Topology B", 24, topology.Counts{Cores: 144, Aggs: 288, ToRs: 288, Servers: 3456}},
+	{"Topology C", 48, topology.Counts{Cores: 576, Aggs: 1152, ToRs: 1152, Servers: 27648}},
+}
+
+// RunTable3 generates the three topologies and tallies their devices.
+func RunTable3() (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, cfg := range table3Expected {
+		ft, err := topology.FatTree(cfg.ports)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Name:     cfg.name,
+			Ports:    cfg.ports,
+			Counts:   ft.Counts(),
+			Expected: cfg.want,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the table in the paper's layout.
+func (r *Table3Result) Render() *Table {
+	t := &Table{
+		Title:  "Table 3 — configurations of the generated topologies (§6.3.1)",
+		Header: []string{"", "Topology A", "Topology B", "Topology C"},
+	}
+	cell := func(f func(Table3Row) any) []any {
+		out := []any{}
+		for _, row := range r.Rows {
+			out = append(out, f(row))
+		}
+		return out
+	}
+	row := func(label string, f func(Table3Row) any) {
+		cells := append([]any{label}, cell(f)...)
+		t.Append(cells...)
+	}
+	row("# switch ports", func(r Table3Row) any { return r.Ports })
+	row("# core routers", func(r Table3Row) any { return r.Counts.Cores })
+	row("# agg switches", func(r Table3Row) any { return r.Counts.Aggs })
+	row("# ToR switches", func(r Table3Row) any { return r.Counts.ToRs })
+	row("# servers", func(r Table3Row) any { return r.Counts.Servers })
+	row("Total # devices", func(r Table3Row) any { return r.Counts.Total() })
+	return t
+}
+
+// Verify checks every count against the paper.
+func (r *Table3Result) Verify() error {
+	if len(r.Rows) != 3 {
+		return fmt.Errorf("table3: %d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Counts != row.Expected {
+			return fmt.Errorf("table3: %s counts %+v, paper %+v", row.Name, row.Counts, row.Expected)
+		}
+	}
+	return nil
+}

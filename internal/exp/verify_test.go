@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests exercise the Verify/Render branches of the experiment
+// harnesses on hand-built results, so mismatch detection itself is tested
+// without re-running the heavy workloads.
+
+func TestFig6aVerifyRejectsDeviations(t *testing.T) {
+	good := Fig6aResult{
+		Pairs: 190, SafePairs: 27, RandomSuccess: 27.0 / 190,
+		SamplingBest: "Rack5+Rack29",
+		ProbBest:     "Rack5+Rack29", ProbBestProb: 0.045739, ProbUnique: true,
+	}
+	if err := good.Verify(); err != nil {
+		t.Fatalf("good result rejected: %v", err)
+	}
+	cases := []func(*Fig6aResult){
+		func(r *Fig6aResult) { r.Pairs = 189 },
+		func(r *Fig6aResult) { r.SafePairs = 26 },
+		func(r *Fig6aResult) { r.SamplingBest = "Rack2+Rack3" },
+		func(r *Fig6aResult) { r.ProbBest = "Rack2+Rack3" },
+		func(r *Fig6aResult) { r.ProbUnique = false },
+		func(r *Fig6aResult) { r.ProbBestProb = 0.05 },
+	}
+	for i, mutate := range cases {
+		bad := good
+		mutate(&bad)
+		if err := bad.Verify(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFig6bVerifyRejectsDeviations(t *testing.T) {
+	good := Fig6bResult{
+		VM7Host: "Server2", VM8Host: "Server2",
+		Top4:       [][]string{{"Server2"}, {"Switch1"}, {"Core1", "Core2"}, {"VM7", "VM8"}},
+		Suggestion: "Server2+Server3", AfterUnexpected: 0,
+	}
+	if err := good.Verify(); err != nil {
+		t.Fatalf("good result rejected: %v", err)
+	}
+	bad := good
+	bad.VM7Host = "Server1"
+	if err := bad.Verify(); err == nil {
+		t.Error("wrong placement accepted")
+	}
+	bad = good
+	bad.Top4 = [][]string{{"Switch1"}, {"Server2"}, {"Core1", "Core2"}, {"VM7", "VM8"}}
+	if err := bad.Verify(); err == nil {
+		t.Error("reordered RGs accepted")
+	}
+	bad = good
+	bad.Suggestion = "Server1+Server3"
+	if err := bad.Verify(); err == nil {
+		t.Error("wrong suggestion accepted")
+	}
+	bad = good
+	bad.AfterUnexpected = 1
+	if err := bad.Verify(); err == nil {
+		t.Error("leftover unexpected RGs accepted")
+	}
+}
+
+func TestTable2VerifyRejectsDeviations(t *testing.T) {
+	mk := func() *Table2Result {
+		return &Table2Result{
+			TwoWay: []Table2Entry{
+				{Key: "2+4", Measured: 0.1419, Paper: 0.1419},
+				{Key: "2+3", Measured: 0.1547, Paper: 0.1547},
+				{Key: "1+4", Measured: 0.2081, Paper: 0.2081},
+				{Key: "1+3", Measured: 0.2939, Paper: 0.2939},
+				{Key: "3+4", Measured: 0.3489, Paper: 0.3489},
+				{Key: "1+2", Measured: 0.5059, Paper: 0.5059},
+			},
+			ThreeWay: []Table2Entry{
+				{Key: "2+3+4", Measured: 0.1128, Paper: 0.1128},
+				{Key: "1+2+4", Measured: 0.1207, Paper: 0.1207},
+				{Key: "1+3+4", Measured: 0.1353, Paper: 0.1353},
+				{Key: "1+2+3", Measured: 0.1536, Paper: 0.1536},
+			},
+		}
+	}
+	if err := mk().Verify(); err != nil {
+		t.Fatalf("exact result rejected: %v", err)
+	}
+	drifted := mk()
+	drifted.TwoWay[0].Measured = 0.16 // > tolerance
+	if err := drifted.Verify(); err == nil {
+		t.Error("out-of-tolerance entry accepted")
+	}
+	swapped := mk()
+	swapped.TwoWay[0], swapped.TwoWay[1] = swapped.TwoWay[1], swapped.TwoWay[0]
+	if err := swapped.Verify(); err == nil {
+		t.Error("ranking inversion accepted")
+	}
+	short := mk()
+	short.ThreeWay = short.ThreeWay[:3]
+	if err := short.Verify(); err == nil {
+		t.Error("missing entries accepted")
+	}
+}
+
+func TestFig7VerifyRejectsDeviations(t *testing.T) {
+	mk := func() *Fig7Result {
+		return &Fig7Result{Points: []Fig7Point{
+			{Topology: "t", Algorithm: "minimal-rg", Detected: 1, MinimalRGs: 10},
+			{Topology: "t", Algorithm: "sampling(100)", Rounds: 100, Detected: 0.6, MinimalRGs: 10},
+			{Topology: "t", Algorithm: "sampling(1000)", Rounds: 1000, Detected: 0.9, MinimalRGs: 10},
+		}}
+	}
+	if err := mk().Verify(); err != nil {
+		t.Fatalf("good curve rejected: %v", err)
+	}
+	broken := mk()
+	broken.Points[0].Detected = 0.99
+	if err := broken.Verify(); err == nil {
+		t.Error("incomplete exact algorithm accepted")
+	}
+	nonmono := mk()
+	nonmono.Points[2].Detected = 0.3
+	if err := nonmono.Verify(); err == nil {
+		t.Error("non-monotone detection accepted")
+	}
+	weak := mk()
+	weak.Points[1].Detected = 0.1
+	weak.Points[2].Detected = 0.2
+	if err := weak.Verify(); err == nil {
+		t.Error("weak top detection accepted")
+	}
+}
+
+func TestFig8VerifyRejectsDeviations(t *testing.T) {
+	mk := func() *Fig8Result {
+		return &Fig8Result{Points: []Fig8Point{
+			{Protocol: "P-SOP", Parties: 2, Elements: 100, Bytes: 1000, Elapsed: 100 * time.Millisecond},
+			{Protocol: "P-SOP", Parties: 2, Elements: 400, Bytes: 4000, Elapsed: 420 * time.Millisecond},
+			{Protocol: "KS", Parties: 2, Elements: 100, Bytes: 3000, Elapsed: 1 * time.Second},
+			{Protocol: "KS", Parties: 2, Elements: 400, Bytes: 12000, Elapsed: 16 * time.Second},
+		}}
+	}
+	if err := mk().Verify(); err != nil {
+		t.Fatalf("good shape rejected: %v", err)
+	}
+	linearKS := mk()
+	linearKS.Points[3].Elapsed = 4 * time.Second // only linear growth
+	if err := linearKS.Verify(); err == nil {
+		t.Error("linear KS accepted")
+	}
+	cheapKS := mk()
+	cheapKS.Points[2].Bytes = 500 // cheaper than P-SOP at same (k, n)
+	if err := cheapKS.Verify(); err == nil {
+		t.Error("cheap KS bandwidth accepted")
+	}
+	noCommon := mk()
+	noCommon.Points[2].Elements = 50
+	noCommon.Points[3].Elements = 75
+	if err := noCommon.Verify(); err == nil {
+		t.Error("missing head-to-head points accepted")
+	}
+}
+
+func TestFig9VerifyRejectsDeviations(t *testing.T) {
+	mk := func() *Fig9Result {
+		return &Fig9Result{Points: []Fig9Point{
+			{Method: "SIA-sampling", Providers: 6, Arity: 2, Elapsed: time.Second},
+			{Method: "SIA-minimal", Providers: 6, Arity: 2, Elapsed: 2 * time.Second},
+			{Method: "PIA-P-SOP", Providers: 6, Arity: 2, Elapsed: 1500 * time.Millisecond},
+			{Method: "PIA-KS", Providers: 6, Arity: 2, Elapsed: 20 * time.Second},
+		}}
+	}
+	if err := mk().Verify(); err != nil {
+		t.Fatalf("good ordering rejected: %v", err)
+	}
+	fastKS := mk()
+	fastKS.Points[3].Elapsed = time.Millisecond
+	if err := fastKS.Verify(); err == nil {
+		t.Error("KS faster than P-SOP accepted")
+	}
+	missing := mk()
+	missing.Points = missing.Points[:2]
+	if err := missing.Verify(); err == nil {
+		t.Error("missing methods accepted")
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	results := []interface {
+		Render() *Table
+	}{
+		&Fig7Result{Points: []Fig7Point{{Topology: "t", Algorithm: "minimal-rg", Detected: 1}}},
+		&Fig8Result{Points: []Fig8Point{{Protocol: "P-SOP", Parties: 2, Elements: 10}}},
+		&Fig9Result{Points: []Fig9Point{{Method: "PIA-P-SOP", Providers: 4, Arity: 2}}},
+		&Table2Result{TwoWay: []Table2Entry{{Clouds: "Cloud1 & Cloud2", Measured: 0.5, Paper: 0.5059}}},
+	}
+	for i, r := range results {
+		tbl := r.Render()
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if len(sb.String()) == 0 {
+			t.Errorf("result %d rendered empty", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package failprob implements failure-probability acquisition, the §5.1
+// extension the paper identifies as future work: without per-component
+// failure likelihoods, INDaaS cannot build fault-set-level graphs or rank
+// risk groups by probability.
+//
+// Two estimators are provided, following the paper's two pointers:
+//
+//   - an empirical estimator in the style of Gill et al. [22]: the failure
+//     probability of a device *type* over a time window is the number of
+//     devices of that type that failed at least once, divided by the type's
+//     population;
+//   - a CVSS-based estimator [48] for software packages: a package's
+//     vulnerability score (0..10) maps to an annualized failure/compromise
+//     probability.
+//
+// An Assigner merges both into the per-component probability function that
+// sia.GraphSpec.Prob expects.
+package failprob
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"indaas/internal/faultgraph"
+)
+
+// FailureEvent is one observed device failure (from incident logs or a
+// monitoring system).
+type FailureEvent struct {
+	Device string
+	Type   string // device type, e.g. "ToR", "AggSwitch", "CoreRouter"
+	At     time.Time
+}
+
+// Population declares how many devices of each type exist.
+type Population map[string]int
+
+// Empirical estimates per-type failure probabilities from failure events
+// over an observation window, per Gill et al.: distinct failed devices of a
+// type divided by the type's population.
+type Empirical struct {
+	window     time.Duration
+	population Population
+	failed     map[string]map[string]bool // type -> set of failed devices
+	start, end time.Time
+	haveEvents bool
+}
+
+// NewEmpirical creates an estimator for the given population and
+// observation window (used to annualize; must be positive).
+func NewEmpirical(pop Population, window time.Duration) (*Empirical, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("failprob: observation window must be positive")
+	}
+	for typ, n := range pop {
+		if n <= 0 {
+			return nil, fmt.Errorf("failprob: population of %q must be positive, got %d", typ, n)
+		}
+	}
+	return &Empirical{
+		window:     window,
+		population: pop,
+		failed:     make(map[string]map[string]bool),
+	}, nil
+}
+
+// Observe records a failure event. Events for unknown types are an error so
+// population mistakes surface early.
+func (e *Empirical) Observe(ev FailureEvent) error {
+	if _, ok := e.population[ev.Type]; !ok {
+		return fmt.Errorf("failprob: event for unknown device type %q", ev.Type)
+	}
+	set := e.failed[ev.Type]
+	if set == nil {
+		set = make(map[string]bool)
+		e.failed[ev.Type] = set
+	}
+	set[ev.Device] = true
+	if !e.haveEvents || ev.At.Before(e.start) {
+		e.start = ev.At
+	}
+	if !e.haveEvents || ev.At.After(e.end) {
+		e.end = ev.At
+	}
+	e.haveEvents = true
+	return nil
+}
+
+// Prob returns the estimated failure probability of a device type over the
+// observation window: |devices of that type that ever failed| / population.
+func (e *Empirical) Prob(deviceType string) (float64, error) {
+	pop, ok := e.population[deviceType]
+	if !ok {
+		return 0, fmt.Errorf("failprob: unknown device type %q", deviceType)
+	}
+	return float64(len(e.failed[deviceType])) / float64(pop), nil
+}
+
+// Types lists the known device types, sorted.
+func (e *Empirical) Types() []string {
+	out := make([]string, 0, len(e.population))
+	for t := range e.population {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CVSS maps Common Vulnerability Scoring System base scores to failure
+// probabilities for software packages (§5.1: "CVSS can be used to provide
+// vulnerability-related failure probabilities").
+type CVSS struct {
+	scores map[string]float64 // package id -> base score 0..10
+	// Scale converts a score into a probability; default score/10 * 0.2
+	// (a critical 10.0 vulnerability ≈ 20% chance of causing an outage or
+	// compromise during the audit horizon).
+	Scale float64
+}
+
+// NewCVSS creates an empty score table with the default scale.
+func NewCVSS() *CVSS {
+	return &CVSS{scores: make(map[string]float64), Scale: 0.02}
+}
+
+// SetScore records a package's CVSS base score (0..10).
+func (c *CVSS) SetScore(pkg string, score float64) error {
+	if score < 0 || score > 10 {
+		return fmt.Errorf("failprob: CVSS score %v out of [0,10]", score)
+	}
+	c.scores[pkg] = score
+	return nil
+}
+
+// Prob converts a package's score to a failure probability; packages
+// without a recorded vulnerability get probability 0... they may still fail
+// for non-security reasons, which callers model via Assigner.Default.
+func (c *CVSS) Prob(pkg string) float64 {
+	p := c.scores[pkg] * c.Scale
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Assigner merges estimators into the component→probability function SIA
+// consumes. Resolution order: exact per-component overrides, then the
+// type-based empirical estimate (via TypeOf), then CVSS, then Default.
+type Assigner struct {
+	// Overrides pin exact probabilities for specific components.
+	Overrides map[string]float64
+	// TypeOf maps a component name to its device type ("" = not a device).
+	TypeOf func(component string) string
+	// Empirical supplies per-type estimates (may be nil).
+	Empirical *Empirical
+	// CVSS supplies software package estimates (may be nil).
+	CVSS *CVSS
+	// Default applies when nothing else matches; use
+	// faultgraph.ProbUnknown to leave such components unweighted.
+	Default float64
+}
+
+// Prob implements the sia.GraphSpec.Prob contract.
+func (a *Assigner) Prob(component string) float64 {
+	if p, ok := a.Overrides[component]; ok {
+		return p
+	}
+	if a.TypeOf != nil && a.Empirical != nil {
+		if typ := a.TypeOf(component); typ != "" {
+			if p, err := a.Empirical.Prob(typ); err == nil {
+				return p
+			}
+		}
+	}
+	if a.CVSS != nil {
+		if p := a.CVSS.Prob(component); p > 0 {
+			return p
+		}
+	}
+	if a.Default != 0 {
+		return a.Default
+	}
+	return faultgraph.ProbUnknown
+}

@@ -1,0 +1,145 @@
+package failprob
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"indaas/internal/faultgraph"
+)
+
+func day(n int) time.Time {
+	return time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func TestEmpiricalEstimates(t *testing.T) {
+	// Gill et al. style: 100 ToRs, 10 cores; 5 distinct ToRs and 1 core
+	// failed during the year.
+	e, err := NewEmpirical(Population{"ToR": 100, "Core": 10}, 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []FailureEvent{
+		{Device: "tor1", Type: "ToR", At: day(10)},
+		{Device: "tor2", Type: "ToR", At: day(30)},
+		{Device: "tor1", Type: "ToR", At: day(50)}, // repeat failure: same device
+		{Device: "tor3", Type: "ToR", At: day(90)},
+		{Device: "tor4", Type: "ToR", At: day(120)},
+		{Device: "tor5", Type: "ToR", At: day(200)},
+		{Device: "core1", Type: "Core", At: day(80)},
+	}
+	for _, ev := range events {
+		if err := e.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := e.Prob("ToR")
+	if err != nil || p != 0.05 {
+		t.Errorf("Prob(ToR) = %v, %v; want 0.05", p, err)
+	}
+	p, err = e.Prob("Core")
+	if err != nil || p != 0.1 {
+		t.Errorf("Prob(Core) = %v, %v; want 0.1", p, err)
+	}
+	if _, err := e.Prob("PDU"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if got := e.Types(); len(got) != 2 || got[0] != "Core" {
+		t.Errorf("Types = %v", got)
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(Population{"x": 1}, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewEmpirical(Population{"x": 0}, time.Hour); err == nil {
+		t.Error("zero population accepted")
+	}
+	e, err := NewEmpirical(Population{"ToR": 10}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(FailureEvent{Device: "d", Type: "Mystery", At: day(0)}); err == nil {
+		t.Error("unknown event type accepted")
+	}
+	// No events: probability zero.
+	if p, err := e.Prob("ToR"); err != nil || p != 0 {
+		t.Errorf("no-event Prob = %v, %v", p, err)
+	}
+}
+
+func TestCVSS(t *testing.T) {
+	c := NewCVSS()
+	if err := c.SetScore("openssl=1.0.1e", 10.0); err != nil { // Heartbleed-class
+		t.Fatal(err)
+	}
+	if err := c.SetScore("zlib=1.2.8", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetScore("bad", 11); err == nil {
+		t.Error("score > 10 accepted")
+	}
+	if err := c.SetScore("bad", -1); err == nil {
+		t.Error("negative score accepted")
+	}
+	if p := c.Prob("openssl=1.0.1e"); math.Abs(p-0.2) > 1e-12 {
+		t.Errorf("Prob(openssl) = %v, want 0.2", p)
+	}
+	if p := c.Prob("zlib=1.2.8"); math.Abs(p-0.05) > 1e-12 {
+		t.Errorf("Prob(zlib) = %v, want 0.05", p)
+	}
+	if p := c.Prob("unknown"); p != 0 {
+		t.Errorf("Prob(unknown) = %v, want 0", p)
+	}
+	// Scale saturation at 1.
+	c.Scale = 0.5
+	if p := c.Prob("openssl=1.0.1e"); p != 1 {
+		t.Errorf("saturated Prob = %v, want 1", p)
+	}
+}
+
+func TestAssignerResolutionOrder(t *testing.T) {
+	e, err := NewEmpirical(Population{"ToR": 10}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(FailureEvent{Device: "tor1", Type: "ToR", At: day(0)}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCVSS()
+	if err := c.SetScore("libssl", 5.0); err != nil {
+		t.Fatal(err)
+	}
+	a := &Assigner{
+		Overrides: map[string]float64{"tor1": 0.42},
+		TypeOf: func(comp string) string {
+			if comp == "tor1" || comp == "tor2" {
+				return "ToR"
+			}
+			return ""
+		},
+		Empirical: e,
+		CVSS:      c,
+		Default:   0.01,
+	}
+	if p := a.Prob("tor1"); p != 0.42 {
+		t.Errorf("override lost: %v", p)
+	}
+	if p := a.Prob("tor2"); p != 0.1 {
+		t.Errorf("empirical estimate = %v, want 0.1", p)
+	}
+	if p := a.Prob("libssl"); p != 0.1 {
+		t.Errorf("CVSS estimate = %v, want 0.1", p)
+	}
+	if p := a.Prob("anything-else"); p != 0.01 {
+		t.Errorf("default = %v, want 0.01", p)
+	}
+}
+
+func TestAssignerUnknownDefault(t *testing.T) {
+	a := &Assigner{}
+	if p := a.Prob("x"); p != faultgraph.ProbUnknown {
+		t.Errorf("empty assigner should return ProbUnknown, got %v", p)
+	}
+}

@@ -1,0 +1,107 @@
+package faultgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Compose merges several dependency graphs into one aggregate graph whose
+// top event fires per the given gate over the input graphs' top events
+// (tech-report feature referenced in §4.1.1: e.g. EC2 instances depending on
+// services offered by EBS and ELB). Basic events are merged by label —
+// a component appearing in two graphs becomes a single shared event —
+// while gate events are qualified "g<i>/<label>" on collision so that
+// structurally distinct intermediate events never merge accidentally.
+//
+// Probabilities on merged basic events must agree (unknown merges with
+// anything).
+func Compose(top string, gate Gate, k int, graphs ...*Graph) (*Graph, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("faultgraph: Compose with no graphs")
+	}
+	b := NewBuilder()
+	gateLabels := make(map[string]bool)
+	var tops []NodeID
+	for i, g := range graphs {
+		mapping := make([]NodeID, g.Len())
+		for j := range mapping {
+			mapping[j] = -1
+		}
+		for _, id := range g.TopoOrder() {
+			n := g.Node(id)
+			if n.Gate == Basic {
+				mapping[id] = b.BasicProb(n.Label, n.Prob)
+				continue
+			}
+			label := n.Label
+			if gateLabels[label] {
+				label = fmt.Sprintf("g%d/%s", i, n.Label)
+			}
+			gateLabels[label] = true
+			children := make([]NodeID, len(n.Children))
+			for ci, c := range n.Children {
+				children[ci] = mapping[c]
+			}
+			mapping[id] = b.gate(label, n.Gate, n.K, n.Prob, children)
+		}
+		tops = append(tops, mapping[g.Top()])
+	}
+	var topID NodeID
+	switch gate {
+	case AND:
+		topID = b.Gate(top, AND, tops...)
+	case OR:
+		topID = b.Gate(top, OR, tops...)
+	case KofN:
+		topID = b.GateK(top, k, tops...)
+	default:
+		return nil, fmt.Errorf("faultgraph: Compose: invalid gate %v", gate)
+	}
+	b.SetTop(topID)
+	return b.Build()
+}
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection. Basic
+// events are boxes; gates are labelled ellipses; edges point from parent
+// event to child event, matching the paper's Fig. 4 orientation.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph faultgraph {"); err != nil {
+		return err
+	}
+	// Deterministic order: by node ID.
+	ids := append([]NodeID(nil), g.topo...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := g.Node(id)
+		switch n.Gate {
+		case Basic:
+			label := n.Label
+			if n.HasProb() {
+				label = fmt.Sprintf("%s\\np=%.4g", n.Label, n.Prob)
+			}
+			if _, err := fmt.Fprintf(w, "  n%d [shape=box,label=\"%s\"];\n", id, label); err != nil {
+				return err
+			}
+		default:
+			gate := n.Gate.String()
+			if n.Gate == KofN {
+				gate = fmt.Sprintf("%d-of-%d", n.K, len(n.Children))
+			}
+			shape := "ellipse"
+			if id == g.top {
+				shape = "doubleoctagon"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d [shape=%s,label=\"%s\\n[%s]\"];\n", id, shape, n.Label, gate); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", id, c); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,144 @@
+package faultgraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assignment maps every node ID to a failure state. Index by NodeID.
+type Assignment []bool
+
+// NewAssignment allocates an all-healthy assignment for graph g.
+func (g *Graph) NewAssignment() Assignment { return make(Assignment, len(g.nodes)) }
+
+// Evaluate propagates the failure states of basic events bottom-up through
+// the gates (§4.1.2, failure sampling semantics) and returns whether the top
+// event fails. Non-basic entries of a are overwritten.
+func (g *Graph) Evaluate(a Assignment) bool {
+	if len(a) != len(g.nodes) {
+		panic(fmt.Sprintf("faultgraph: assignment length %d, graph has %d nodes", len(a), len(g.nodes)))
+	}
+	for _, id := range g.topo {
+		n := &g.nodes[id]
+		if n.Gate == Basic {
+			continue
+		}
+		failed := 0
+		for _, c := range n.Children {
+			if a[c] {
+				failed++
+				if failed >= n.K {
+					break
+				}
+			}
+		}
+		a[id] = failed >= n.K
+	}
+	return a[g.top]
+}
+
+// EvaluateSet returns whether the top event fails when exactly the basic
+// events in failed (by label) have failed. Unknown labels are ignored.
+func (g *Graph) EvaluateSet(failed []string) bool {
+	a := g.NewAssignment()
+	for _, label := range failed {
+		if id, ok := g.byLabel[label]; ok && g.nodes[id].Gate == Basic {
+			a[id] = true
+		}
+	}
+	return g.Evaluate(a)
+}
+
+// TopProbExact computes the exact failure probability of the top event by
+// enumerating all 2^b assignments of the b basic events, assuming basic
+// events fail independently with their assigned probabilities. Every basic
+// event must carry a probability. Exponential — intended for validating
+// other estimators on small graphs (b ≤ ~20).
+func (g *Graph) TopProbExact() (float64, error) {
+	basics := g.BasicEvents()
+	for _, id := range basics {
+		if !g.nodes[id].HasProb() {
+			return 0, fmt.Errorf("faultgraph: basic event %q has no probability", g.nodes[id].Label)
+		}
+	}
+	if len(basics) > 26 {
+		return 0, fmt.Errorf("faultgraph: TopProbExact limited to 26 basic events, graph has %d", len(basics))
+	}
+	a := g.NewAssignment()
+	total := 0.0
+	for mask := 0; mask < 1<<len(basics); mask++ {
+		p := 1.0
+		for i, id := range basics {
+			fail := mask&(1<<i) != 0
+			a[id] = fail
+			if fail {
+				p *= g.nodes[id].Prob
+			} else {
+				p *= 1 - g.nodes[id].Prob
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		if g.Evaluate(a) {
+			total += p
+		}
+	}
+	return total, nil
+}
+
+// TopProbBottomUp computes the top event probability by propagating
+// probabilities through the gates assuming *independent* child events.
+// This is exact only when the graph is a tree (no shared subtrees); with
+// shared dependencies it is an approximation — precisely the error that
+// motivates risk-group analysis. Exposed for ablation studies.
+func (g *Graph) TopProbBottomUp() (float64, error) {
+	probs := make([]float64, len(g.nodes))
+	for _, id := range g.topo {
+		n := &g.nodes[id]
+		if n.Gate == Basic {
+			if !n.HasProb() {
+				return 0, fmt.Errorf("faultgraph: basic event %q has no probability", n.Label)
+			}
+			probs[id] = n.Prob
+			continue
+		}
+		switch n.Gate {
+		case AND:
+			p := 1.0
+			for _, c := range n.Children {
+				p *= probs[c]
+			}
+			probs[id] = p
+		case OR:
+			q := 1.0
+			for _, c := range n.Children {
+				q *= 1 - probs[c]
+			}
+			probs[id] = 1 - q
+		case KofN:
+			probs[id] = kOfNProb(n.K, n.Children, probs)
+		}
+	}
+	return probs[g.top], nil
+}
+
+// kOfNProb computes P(at least k of the children fail) for independent
+// children via dynamic programming over the count of failures.
+func kOfNProb(k int, children []NodeID, probs []float64) float64 {
+	// dist[j] = P(exactly j failures among children seen so far).
+	dist := make([]float64, len(children)+1)
+	dist[0] = 1
+	for i, c := range children {
+		p := probs[c]
+		for j := i + 1; j >= 1; j-- {
+			dist[j] = dist[j]*(1-p) + dist[j-1]*p
+		}
+		dist[0] *= 1 - p
+	}
+	total := 0.0
+	for j := k; j <= len(children); j++ {
+		total += dist[j]
+	}
+	return math.Min(total, 1)
+}

@@ -1,0 +1,113 @@
+// Package minhash implements MinHash signatures for Jaccard similarity
+// estimation (§4.2.2, [13]).
+//
+// A signature is the per-function minimum of m salted hash functions over a
+// set. For k sets, the Jaccard similarity J(S₀,…,S_{k−1}) is estimated as
+// δ/m where δ counts the signature positions on which all k signatures
+// agree; the expected error is O(1/√m) [13].
+//
+// PIA uses MinHash to shrink large component-sets before the private set
+// intersection protocol (§4.2.4): the P-SOP input becomes the m signature
+// elements ("<i>:<minvalue>") instead of the raw components.
+package minhash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Signature is the vector of per-function minima of one set.
+type Signature []uint64
+
+// Hasher computes signatures with a fixed family of m salted hash functions.
+type Hasher struct {
+	m int
+}
+
+// NewHasher returns a Hasher with m hash functions. Larger m gives smaller
+// estimation error at proportionally higher cost.
+func NewHasher(m int) (*Hasher, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("minhash: need at least one hash function, got %d", m)
+	}
+	return &Hasher{m: m}, nil
+}
+
+// M returns the number of hash functions.
+func (h *Hasher) M() int { return h.m }
+
+// hash64 computes the i-th hash function: the first 8 bytes of
+// SHA-256(i ‖ elem).
+func hash64(i int, elem string) uint64 {
+	var salt [4]byte
+	binary.LittleEndian.PutUint32(salt[:], uint32(i))
+	d := sha256.New()
+	d.Write(salt[:])
+	d.Write([]byte(elem))
+	var sum [sha256.Size]byte
+	d.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Sign computes the signature of a set of elements. Signing an empty set is
+// an error: its minima are undefined.
+func (h *Hasher) Sign(elements []string) (Signature, error) {
+	if len(elements) == 0 {
+		return nil, fmt.Errorf("minhash: cannot sign an empty set")
+	}
+	sig := make(Signature, h.m)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, e := range elements {
+		for i := 0; i < h.m; i++ {
+			if v := hash64(i, e); v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig, nil
+}
+
+// Estimate approximates the k-way Jaccard similarity of the signed sets as
+// the fraction of positions where all signatures agree.
+func Estimate(sigs ...Signature) (float64, error) {
+	if len(sigs) == 0 {
+		return 0, fmt.Errorf("minhash: no signatures")
+	}
+	m := len(sigs[0])
+	for _, s := range sigs[1:] {
+		if len(s) != m {
+			return 0, fmt.Errorf("minhash: signature lengths differ (%d vs %d)", m, len(s))
+		}
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("minhash: empty signatures")
+	}
+	agree := 0
+	for i := 0; i < m; i++ {
+		same := true
+		for _, s := range sigs[1:] {
+			if s[i] != sigs[0][i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			agree++
+		}
+	}
+	return float64(agree) / float64(m), nil
+}
+
+// Elements renders a signature as PSI-ready string elements "<i>:<min>", so
+// that a private set intersection over signatures counts exactly the
+// agreeing positions (§4.2.4).
+func (s Signature) Elements() []string {
+	out := make([]string, len(s))
+	for i, v := range s {
+		out[i] = fmt.Sprintf("%d:%016x", i, v)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"indaas/internal/deps"
+)
+
+func TestNewHasher(t *testing.T) {
+	if _, err := NewHasher(0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	h, err := NewHasher(16)
+	if err != nil || h.M() != 16 {
+		t.Errorf("NewHasher(16) = %v, %v", h, err)
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	h, _ := NewHasher(32)
+	a, err := h.Sign([]string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Sign([]string{"z", "y", "x"}) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signature depends on element order")
+		}
+	}
+	if _, err := h.Sign(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestEstimateIdenticalAndDisjoint(t *testing.T) {
+	h, _ := NewHasher(64)
+	a, _ := h.Sign([]string{"a", "b", "c"})
+	b, _ := h.Sign([]string{"a", "b", "c"})
+	j, err := Estimate(a, b)
+	if err != nil || j != 1 {
+		t.Errorf("identical sets estimate = %v, %v", j, err)
+	}
+	big1 := make([]string, 200)
+	big2 := make([]string, 200)
+	for i := range big1 {
+		big1[i] = fmt.Sprintf("left-%d", i)
+		big2[i] = fmt.Sprintf("right-%d", i)
+	}
+	s1, _ := h.Sign(big1)
+	s2, _ := h.Sign(big2)
+	j, err = Estimate(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j > 0.1 {
+		t.Errorf("disjoint sets estimate = %v, want ≈ 0", j)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(); err == nil {
+		t.Error("no signatures accepted")
+	}
+	if _, err := Estimate(Signature{1, 2}, Signature{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Estimate(Signature{}); err == nil {
+		t.Error("empty signature accepted")
+	}
+}
+
+// TestEstimateAccuracyBound verifies the O(1/√m) error bound empirically:
+// for sets with known Jaccard 1/3, the m=1024 estimate should fall within
+// 4/√m of the truth (≈ 4 standard errors).
+func TestEstimateAccuracyBound(t *testing.T) {
+	const m = 1024
+	h, _ := NewHasher(m)
+	// |A|=200, |B|=200, overlap 100 → J = 100/300.
+	var a, b []string
+	for i := 0; i < 100; i++ {
+		shared := fmt.Sprintf("shared-%d", i)
+		a = append(a, shared, fmt.Sprintf("only-a-%d", i))
+		b = append(b, shared, fmt.Sprintf("only-b-%d", i))
+	}
+	sa, _ := h.Sign(a)
+	sb, _ := h.Sign(b)
+	got, err := Estimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 3.0
+	bound := 4.0 / math.Sqrt(m)
+	if math.Abs(got-want) > bound {
+		t.Errorf("estimate %v deviates from %v by more than %v", got, want, bound)
+	}
+}
+
+func TestEstimateImprovesWithM(t *testing.T) {
+	var a, b []string
+	for i := 0; i < 150; i++ {
+		shared := fmt.Sprintf("s-%d", i)
+		a = append(a, shared)
+		b = append(b, shared)
+	}
+	for i := 0; i < 50; i++ {
+		a = append(a, fmt.Sprintf("a-%d", i))
+		b = append(b, fmt.Sprintf("b-%d", i))
+	}
+	truth := deps.Jaccard(deps.NewComponentSet(a...), deps.NewComponentSet(b...))
+	errAt := func(m int) float64 {
+		h, _ := NewHasher(m)
+		sa, _ := h.Sign(a)
+		sb, _ := h.Sign(b)
+		got, err := Estimate(sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(got - truth)
+	}
+	// Not strictly monotone per-seed, so compare small m to a much larger m.
+	if e16, e4096 := errAt(16), errAt(4096); e4096 > e16 && e4096 > 0.05 {
+		t.Errorf("error did not shrink with m: m=16 err %v, m=4096 err %v", e16, e4096)
+	}
+}
+
+func TestThreeWayEstimate(t *testing.T) {
+	h, _ := NewHasher(2048)
+	var a, b, c []string
+	for i := 0; i < 90; i++ {
+		s := fmt.Sprintf("all-%d", i)
+		a, b, c = append(a, s), append(b, s), append(c, s)
+	}
+	for i := 0; i < 30; i++ {
+		a = append(a, fmt.Sprintf("a-%d", i))
+		b = append(b, fmt.Sprintf("b-%d", i))
+		c = append(c, fmt.Sprintf("c-%d", i))
+	}
+	truth := deps.Jaccard(
+		deps.NewComponentSet(a...), deps.NewComponentSet(b...), deps.NewComponentSet(c...))
+	sa, _ := h.Sign(a)
+	sb, _ := h.Sign(b)
+	sc, _ := h.Sign(c)
+	got, err := Estimate(sa, sb, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.06 {
+		t.Errorf("3-way estimate %v vs truth %v", got, truth)
+	}
+}
+
+func TestSignatureElements(t *testing.T) {
+	sig := Signature{0x0102030405060708, 0xffffffffffffffff}
+	elems := sig.Elements()
+	if len(elems) != 2 {
+		t.Fatalf("elements = %v", elems)
+	}
+	if elems[0] != "0:0102030405060708" || elems[1] != "1:ffffffffffffffff" {
+		t.Errorf("elements = %v", elems)
+	}
+	// Agreement of elements must equal agreement of signature positions:
+	// shared minima produce identical strings, position-tagged.
+	other := Signature{0x0102030405060708, 0x1}
+	inter := deps.NewComponentSet(sig.Elements()...).Intersect(deps.NewComponentSet(other.Elements()...))
+	if inter.Len() != 1 {
+		t.Errorf("element intersection = %v", inter.Sorted())
+	}
+}

@@ -1,0 +1,265 @@
+// Package pia implements Private Independence Auditing (§4.2): Jaccard
+// similarity over normalized component-sets, computed either exactly through
+// the P-SOP private set intersection cardinality protocol, approximately
+// through MinHash + P-SOP for large component-sets (§4.2.4), or through the
+// Kissner–Song baseline (§6.3.2). A cleartext mode exists for validation and
+// for the SIA-vs-PIA comparison of Fig. 9.
+package pia
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"indaas/internal/deps"
+	"indaas/internal/minhash"
+	"indaas/internal/psi"
+	"indaas/internal/report"
+)
+
+// Provider is one cloud provider's private dataset: the normalized
+// component-set of its infrastructure (§4.2.3).
+type Provider struct {
+	Name       string
+	Components []string
+}
+
+// Protocol selects the private computation mechanism.
+type Protocol int
+
+const (
+	// ProtocolPSOP uses the commutative-encryption ring protocol.
+	ProtocolPSOP Protocol = iota
+	// ProtocolKS uses the Kissner–Song-style baseline. Because KS yields
+	// only the intersection cardinality, the Jaccard similarity is always
+	// estimated via MinHash signatures under this protocol (the MinHashM
+	// default applies when unset).
+	ProtocolKS
+	// ProtocolCleartext computes the same quantities without privacy —
+	// the trusted-auditor comparison point of §6.3.3.
+	ProtocolCleartext
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolPSOP:
+		return "p-sop"
+	case ProtocolKS:
+		return "ks"
+	case ProtocolCleartext:
+		return "cleartext"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config tunes a PIA run.
+type Config struct {
+	Protocol Protocol
+	// Bits is the key size for the cryptographic protocols (default 1024).
+	Bits int
+	// MinHashM, when non-zero, estimates Jaccard from m-function MinHash
+	// signatures instead of the full component-sets (§4.2.4). Required
+	// (defaulting to 512) under ProtocolKS.
+	MinHashM int
+	// MinHashThreshold, when non-zero, switches to MinHash automatically for
+	// providers whose component-sets exceed the threshold ("if cloud
+	// providers ... have large component-sets", §4.2.4). MinHashM (or its
+	// default 512) gives the signature width.
+	MinHashThreshold int
+	// KSBlindBits forwards to psi.KSConfig.BlindBits.
+	KSBlindBits int
+}
+
+// Deployment identifies a candidate redundancy deployment by provider
+// indices into the provider list.
+type Deployment []int
+
+// AuditDeployments evaluates the Jaccard similarity of every candidate
+// deployment (§4.2.4–§4.2.5) and returns the ranked PIA report: lowest
+// similarity (most independent) first.
+func AuditDeployments(cfg Config, providers []Provider, deployments []Deployment) (*report.PIAReport, error) {
+	if len(providers) < 2 {
+		return nil, fmt.Errorf("pia: need at least two providers, got %d", len(providers))
+	}
+	for i, p := range providers {
+		if p.Name == "" {
+			return nil, fmt.Errorf("pia: provider %d has no name", i)
+		}
+		if len(p.Components) == 0 {
+			return nil, fmt.Errorf("pia: provider %q has an empty component-set", p.Name)
+		}
+	}
+	if len(deployments) == 0 {
+		return nil, fmt.Errorf("pia: no deployments to audit")
+	}
+	rep := &report.PIAReport{Title: fmt.Sprintf("%d providers, %d deployments (%s)",
+		len(providers), len(deployments), cfg.Protocol)}
+	for _, d := range deployments {
+		entry, err := auditOne(cfg, providers, d)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, *entry)
+	}
+	rep.Rank()
+	return rep, nil
+}
+
+func auditOne(cfg Config, providers []Provider, d Deployment) (*report.PIAEntry, error) {
+	if len(d) < 2 {
+		return nil, fmt.Errorf("pia: deployment %v needs at least two providers", d)
+	}
+	names := make([]string, len(d))
+	sets := make([][]string, len(d))
+	maxSet := 0
+	for i, idx := range d {
+		if idx < 0 || idx >= len(providers) {
+			return nil, fmt.Errorf("pia: deployment references unknown provider %d", idx)
+		}
+		names[i] = providers[idx].Name
+		sets[i] = providers[idx].Components
+		if len(sets[i]) > maxSet {
+			maxSet = len(sets[i])
+		}
+	}
+
+	useMinHash := cfg.MinHashM > 0 ||
+		cfg.Protocol == ProtocolKS ||
+		(cfg.MinHashThreshold > 0 && maxSet > cfg.MinHashThreshold)
+	m := cfg.MinHashM
+	if useMinHash && m == 0 {
+		m = 512
+	}
+
+	start := time.Now()
+	var jaccard float64
+	var bytes int64
+	switch {
+	case cfg.Protocol == ProtocolCleartext && !useMinHash:
+		inter, union, err := psi.CleartextCardinality(sets)
+		if err != nil {
+			return nil, err
+		}
+		if union > 0 {
+			jaccard = float64(inter) / float64(union)
+		}
+	case cfg.Protocol == ProtocolCleartext && useMinHash:
+		sigs, err := signAll(sets, m)
+		if err != nil {
+			return nil, err
+		}
+		est, err := minhash.Estimate(sigs...)
+		if err != nil {
+			return nil, err
+		}
+		jaccard = est
+	case cfg.Protocol == ProtocolPSOP && !useMinHash:
+		res, err := psi.PSOP(psi.PSOPConfig{Bits: cfg.Bits}, sets)
+		if err != nil {
+			return nil, err
+		}
+		j, err := res.Jaccard()
+		if err != nil {
+			return nil, err
+		}
+		jaccard = j
+		bytes = res.Stats.BytesSent
+	case cfg.Protocol == ProtocolPSOP && useMinHash:
+		// §4.2.4: run P-SOP over the signature elements; the agreement
+		// count is |∩ of signatures| and J ≈ |∩|/m.
+		sigSets, err := signatureElements(sets, m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := psi.PSOP(psi.PSOPConfig{Bits: cfg.Bits}, sigSets)
+		if err != nil {
+			return nil, err
+		}
+		jaccard = float64(res.Intersection) / float64(m)
+		bytes = res.Stats.BytesSent
+	case cfg.Protocol == ProtocolKS:
+		sigSets, err := signatureElements(sets, m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := psi.KS(psi.KSConfig{Bits: cfg.Bits, BlindBits: cfg.KSBlindBits}, sigSets)
+		if err != nil {
+			return nil, err
+		}
+		jaccard = float64(res.Intersection) / float64(m)
+		bytes = res.Stats.BytesSent
+	default:
+		return nil, fmt.Errorf("pia: unknown protocol %v", cfg.Protocol)
+	}
+	return &report.PIAEntry{
+		Providers: names,
+		Jaccard:   jaccard,
+		Estimated: useMinHash,
+		BytesSent: bytes,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+func signAll(sets [][]string, m int) ([]minhash.Signature, error) {
+	h, err := minhash.NewHasher(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]minhash.Signature, len(sets))
+	for i, s := range sets {
+		sig, err := h.Sign(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sig
+	}
+	return out, nil
+}
+
+func signatureElements(sets [][]string, m int) ([][]string, error) {
+	sigs, err := signAll(sets, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(sigs))
+	for i, sig := range sigs {
+		out[i] = sig.Elements()
+	}
+	return out, nil
+}
+
+// AllPairs enumerates every two-provider deployment over n providers.
+func AllPairs(n int) []Deployment {
+	var out []Deployment
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, Deployment{i, j})
+		}
+	}
+	return out
+}
+
+// AllTriples enumerates every three-provider deployment over n providers.
+func AllTriples(n int) []Deployment {
+	var out []Deployment
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				out = append(out, Deployment{i, j, k})
+			}
+		}
+	}
+	return out
+}
+
+// NormalizeProvider builds a Provider from raw dependency records using the
+// §4.2.3 normalization rules.
+func NormalizeProvider(name string, n *deps.Normalizer, records []deps.Record) Provider {
+	set := n.ComponentSetFromRecords(records)
+	return Provider{Name: name, Components: set.Sorted()}
+}
+
+// DeploymentKey renders a deployment's provider names "A & B & C".
+func DeploymentKey(names []string) string { return strings.Join(names, " & ") }

@@ -1,0 +1,254 @@
+package psi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"indaas/internal/deps"
+)
+
+func TestCleartextCardinality(t *testing.T) {
+	cases := []struct {
+		sets         [][]string
+		inter, union int
+	}{
+		{[][]string{{"a", "b"}, {"b", "c"}}, 1, 3},
+		{[][]string{{"a"}, {"b"}}, 0, 2},
+		{[][]string{{"a", "a", "b"}, {"a", "a", "c"}}, 2, 4},   // multiset: two a's shared
+		{[][]string{{"a", "a"}, {"a"}}, 1, 2},                  // min/max counts
+		{[][]string{{"x", "y"}, {"x", "y"}, {"x", "z"}}, 1, 3}, // 3-way
+	}
+	for i, c := range cases {
+		inter, union, err := CleartextCardinality(c.sets)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if inter != c.inter || union != c.union {
+			t.Errorf("case %d: got (%d,%d), want (%d,%d)", i, inter, union, c.inter, c.union)
+		}
+	}
+	if _, _, err := CleartextCardinality([][]string{{"a"}}); err == nil {
+		t.Error("single set accepted")
+	}
+}
+
+func TestDisambiguate(t *testing.T) {
+	got := disambiguate([]string{"b", "a", "b"})
+	want := []string{"a\x001", "b\x001", "b\x002"}
+	if len(got) != len(want) {
+		t.Fatalf("disambiguate = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("disambiguate[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPSOPMatchesCleartext(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		k := 2 + trial%3
+		sets := make([][]string, k)
+		for i := range sets {
+			n := 5 + rng.Intn(15)
+			for j := 0; j < n; j++ {
+				// Overlapping universes with duplicates.
+				sets[i] = append(sets[i], fmt.Sprintf("comp-%d", rng.Intn(12)))
+			}
+		}
+		wantInter, wantUnion, err := CleartextCardinality(sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := PSOP(PSOPConfig{Bits: 512}, sets)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Intersection != wantInter || res.Union != wantUnion {
+			t.Errorf("trial %d (k=%d): P-SOP (%d,%d), cleartext (%d,%d)",
+				trial, k, res.Intersection, res.Union, wantInter, wantUnion)
+		}
+		j, err := res.Jaccard()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantUnion > 0 && j != float64(wantInter)/float64(wantUnion) {
+			t.Errorf("trial %d: Jaccard %v", trial, j)
+		}
+	}
+}
+
+func TestPSOPJaccardMatchesPlainJaccard(t *testing.T) {
+	a := []string{"pkg:libc6=2.19", "pkg:libssl=1.0.1", "router:10.0.0.1", "c1/private"}
+	b := []string{"pkg:libc6=2.19", "pkg:libssl=1.0.1", "c2/other"}
+	res, err := PSOP(PSOPConfig{Bits: 512}, [][]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Jaccard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deps.Jaccard(deps.NewComponentSet(a...), deps.NewComponentSet(b...))
+	if got != want {
+		t.Errorf("P-SOP Jaccard %v, cleartext %v", got, want)
+	}
+}
+
+func TestPSOPErrors(t *testing.T) {
+	if _, err := PSOP(PSOPConfig{Bits: 512}, [][]string{{"a"}}); err == nil {
+		t.Error("single party accepted")
+	}
+	if _, err := PSOP(PSOPConfig{Bits: 512}, [][]string{{"a"}, {}}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestPSOPStats(t *testing.T) {
+	sets := [][]string{
+		make([]string, 10), make([]string, 10), make([]string, 10),
+	}
+	for i := range sets {
+		for j := range sets[i] {
+			sets[i][j] = fmt.Sprintf("p%d-e%d", i, j%7)
+		}
+	}
+	res, err := PSOP(PSOPConfig{Bits: 512}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BytesSent <= 0 || res.Stats.Messages <= 0 {
+		t.Errorf("stats not recorded: %+v", res.Stats)
+	}
+	if len(res.Stats.PerParty) != 3 {
+		t.Errorf("per-party stats for %d parties", len(res.Stats.PerParty))
+	}
+	// Ring phase: each dataset of 10 elements × 64 bytes × (k−1)=2 hops,
+	// share phase: ×(k−1) more. Total = 10·64·(2·3 + 3·2) = 7680.
+	want := int64(10 * 64 * (2*3 + 2*3))
+	if res.Stats.BytesSent != want {
+		t.Errorf("BytesSent = %d, want %d", res.Stats.BytesSent, want)
+	}
+}
+
+func TestKSMatchesCleartextIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 4; trial++ {
+		k := 2 + trial%3
+		sets := make([][]string, k)
+		for i := range sets {
+			n := 4 + rng.Intn(8)
+			seen := map[string]bool{}
+			for j := 0; j < n; j++ {
+				e := fmt.Sprintf("comp-%d", rng.Intn(10))
+				if !seen[e] {
+					seen[e] = true
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		// Reference with set semantics.
+		dedupSets := make([][]string, k)
+		for i := range sets {
+			dedupSets[i] = dedupe(sets[i])
+		}
+		wantInter, _, err := CleartextCardinality(dedupSets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := KS(KSConfig{Bits: 512, BlindBits: 64}, sets)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Intersection != wantInter {
+			t.Errorf("trial %d (k=%d): KS intersection %d, want %d",
+				trial, k, res.Intersection, wantInter)
+		}
+		if res.Union != -1 {
+			t.Errorf("KS should not report a union, got %d", res.Union)
+		}
+		if _, err := res.Jaccard(); err == nil {
+			t.Error("Jaccard over KS result should error")
+		}
+	}
+}
+
+func TestKSDisjointAndIdentical(t *testing.T) {
+	disjoint := [][]string{{"a", "b"}, {"c", "d"}}
+	res, err := KS(KSConfig{Bits: 512, BlindBits: 64}, disjoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intersection != 0 {
+		t.Errorf("disjoint intersection = %d", res.Intersection)
+	}
+	same := [][]string{{"x", "y", "z"}, {"z", "x", "y"}, {"y", "z", "x"}}
+	res, err = KS(KSConfig{Bits: 512, BlindBits: 64}, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intersection != 3 {
+		t.Errorf("identical 3-way intersection = %d, want 3", res.Intersection)
+	}
+}
+
+func TestKSMultisetInputsDeduplicated(t *testing.T) {
+	res, err := KS(KSConfig{Bits: 512, BlindBits: 64}, [][]string{{"a", "a", "b"}, {"a", "b", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intersection != 2 {
+		t.Errorf("KS set-semantics intersection = %d, want 2", res.Intersection)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KS(KSConfig{Bits: 512, BlindBits: 64}, [][]string{{"a"}}); err == nil {
+		t.Error("single party accepted")
+	}
+	if _, err := KS(KSConfig{Bits: 512, BlindBits: 64}, [][]string{{"a"}, {}}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestKSStats(t *testing.T) {
+	sets := [][]string{{"a", "b", "c"}, {"b", "c", "d"}, {"c", "d", "e"}}
+	res, err := KS(KSConfig{Bits: 512, BlindBits: 64}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BytesSent <= 0 {
+		t.Error("no bandwidth recorded")
+	}
+	if len(res.Stats.PerParty) == 0 {
+		t.Error("no per-party stats")
+	}
+}
+
+func TestProtocolCostShape(t *testing.T) {
+	// The core Fig. 8 qualitative claim at miniature scale: KS costs more
+	// bandwidth per element than P-SOP as k grows, because it ships
+	// 2n+1 double-width ciphertext coefficients around the ring.
+	mk := func(n int, tag string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s-%d", tag, i)
+		}
+		return out
+	}
+	sets := [][]string{mk(20, "a"), mk(20, "b"), mk(20, "c"), mk(20, "d")}
+	psop, err := PSOP(PSOPConfig{Bits: 512}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KS(KSConfig{Bits: 512, BlindBits: 64}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Stats.BytesSent <= psop.Stats.BytesSent {
+		t.Errorf("expected KS bandwidth (%d) > P-SOP bandwidth (%d) at k=4",
+			ks.Stats.BytesSent, psop.Stats.BytesSent)
+	}
+}

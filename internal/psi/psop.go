@@ -1,0 +1,145 @@
+package psi
+
+import (
+	cryptorand "crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	mathrand "math/rand"
+
+	"indaas/internal/crypto/commutative"
+)
+
+// PSOPConfig tunes the P-SOP protocol.
+type PSOPConfig struct {
+	// Bits is the commutative-cipher modulus size (default 1024, the
+	// paper's setting; 512/2048 for the key-size ablation).
+	Bits int
+	// Rand is the randomness source for key generation (default
+	// crypto/rand). Permutations are seeded from it as well.
+	Rand io.Reader
+	// Group optionally reuses a pre-agreed group, skipping generation —
+	// required for non-builtin sizes when parties must share a modulus, and
+	// useful to amortize setup in benches.
+	Group *commutative.Group
+}
+
+// PSOP runs the private set intersection cardinality protocol of §4.2.2 over
+// the given parties' datasets (multisets of normalized component
+// identifiers) and returns |∩|, |∪| and measured costs.
+//
+// Protocol, per the paper: the k parties form a logical ring and agree on a
+// deterministic hash. Each party disambiguates duplicates (e‖i), hashes and
+// encrypts every element under its own commutative key, permutes the result
+// and sends it to its successor; each successor re-encrypts, re-permutes and
+// forwards. After k hops every dataset is encrypted under all k keys, so
+// equal plaintexts — regardless of owner — have equal ciphertexts; the
+// parties then share the encrypted datasets and count |∩| and |∪| on
+// ciphertexts.
+func PSOP(cfg PSOPConfig, sets [][]string) (*Result, error) {
+	k := len(sets)
+	if k < 2 {
+		return nil, fmt.Errorf("psi: P-SOP needs at least two parties, got %d", k)
+	}
+	for i, s := range sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("psi: party %d has an empty dataset", i)
+		}
+	}
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 1024
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = cryptorand.Reader
+	}
+	group := cfg.Group
+	if group == nil {
+		var err error
+		group, err = commutative.NewGroup(bits)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-party key and permutation source.
+	keys := make([]*commutative.Key, k)
+	perms := make([]*mathrand.Rand, k)
+	for i := range keys {
+		key, err := group.GenerateKey(rng)
+		if err != nil {
+			return nil, fmt.Errorf("psi: party %d keygen: %w", i, err)
+		}
+		keys[i] = key
+		var seed [8]byte
+		if _, err := io.ReadFull(rng, seed[:]); err != nil {
+			return nil, fmt.Errorf("psi: party %d permutation seed: %w", i, err)
+		}
+		perms[i] = mathrand.New(mathrand.NewSource(int64(seed[0]) | int64(seed[1])<<8 |
+			int64(seed[2])<<16 | int64(seed[3])<<24 | int64(seed[4])<<32 |
+			int64(seed[5])<<40 | int64(seed[6])<<48 | int64(seed[7])<<56))
+	}
+
+	var stats Stats
+	elemSize := int64(group.CiphertextSize())
+
+	// Step 1: each party hashes, encrypts and permutes its own dataset.
+	datasets := make([][]*big.Int, k)
+	for i, s := range sets {
+		uniq := disambiguate(s)
+		ds := make([]*big.Int, len(uniq))
+		for j, e := range uniq {
+			ds[j] = keys[i].Encrypt(group.HashToGroup([]byte(e)))
+		}
+		permute(perms[i], ds)
+		datasets[i] = ds
+	}
+
+	// Step 2: k−1 ring hops; each hop re-encrypts and re-permutes.
+	for hop := 1; hop < k; hop++ {
+		for owner := 0; owner < k; owner++ {
+			holder := (owner + hop) % k
+			sender := (owner + hop - 1) % k
+			stats.send(sender, int64(len(datasets[owner]))*elemSize)
+			ds := datasets[owner]
+			for j, c := range ds {
+				ds[j] = keys[holder].Encrypt(c)
+			}
+			permute(perms[holder], ds)
+		}
+	}
+
+	// Step 3: each final holder shares the fully-encrypted dataset with the
+	// other k−1 parties so everyone can count.
+	for owner := 0; owner < k; owner++ {
+		holder := (owner + k - 1) % k
+		stats.send(holder, int64(len(datasets[owner]))*elemSize*int64(k-1))
+	}
+
+	// Step 4: count on ciphertexts. Disambiguation turned multisets into
+	// sets, so min/max counts reduce to membership.
+	inter, union := countCiphertexts(group, datasets)
+	return &Result{Intersection: inter, Union: union, Stats: stats}, nil
+}
+
+func permute(rng *mathrand.Rand, ds []*big.Int) {
+	rng.Shuffle(len(ds), func(a, b int) { ds[a], ds[b] = ds[b], ds[a] })
+}
+
+func countCiphertexts(group *commutative.Group, datasets [][]*big.Int) (inter, union int) {
+	k := len(datasets)
+	seenIn := make(map[string]int)
+	for _, ds := range datasets {
+		for _, c := range ds {
+			seenIn[string(group.Bytes(c))]++
+		}
+	}
+	union = len(seenIn)
+	for _, n := range seenIn {
+		if n == k {
+			inter++
+		}
+	}
+	return inter, union
+}

@@ -1,0 +1,306 @@
+package ranking
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"indaas/internal/faultgraph"
+	"indaas/internal/riskgroup"
+)
+
+// fig4b builds the weighted Fig. 4b example: E1={A1,A2}, E2={A2,A3},
+// Pr(A1)=0.1, Pr(A2)=0.2, Pr(A3)=0.3.
+func fig4b(t *testing.T) (*faultgraph.Graph, []riskgroup.RG) {
+	t.Helper()
+	probs := map[string]float64{"A1": 0.1, "A2": 0.2, "A3": 0.3}
+	g, err := faultgraph.FromSourceSets("T", 2, []faultgraph.SourceSet{
+		{Source: "E1", Components: []string{"A1", "A2"}, Probs: probs},
+		{Source: "E2", Components: []string{"A2", "A3"}, Probs: probs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, fam
+}
+
+func TestTopProbFig4b(t *testing.T) {
+	g, fam := fig4b(t)
+	// Paper: Pr(T) = 0.1·0.3 + 0.2 − 0.1·0.3·0.2 = 0.224.
+	p, err := TopProb(g, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.224) > 1e-12 {
+		t.Errorf("Pr(T) = %v, want 0.224", p)
+	}
+}
+
+func TestByProbFig4b(t *testing.T) {
+	g, fam := fig4b(t)
+	ranked, topProb, err := ByProb(g, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(topProb-0.224) > 1e-12 {
+		t.Fatalf("topProb = %v", topProb)
+	}
+	// Paper: I({A2}) = 0.2/0.224 = 0.8929, I({A1,A3}) = 0.03/0.224 = 0.1339.
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d RGs, want 2", len(ranked))
+	}
+	if !reflect.DeepEqual(ranked[0].Labels, []string{"A2"}) {
+		t.Errorf("top-ranked RG = %v, want {A2}", ranked[0].Labels)
+	}
+	if math.Abs(ranked[0].Importance-0.2/0.224) > 1e-9 {
+		t.Errorf("I({A2}) = %v, want %v", ranked[0].Importance, 0.2/0.224)
+	}
+	if math.Abs(ranked[1].Importance-0.03/0.224) > 1e-9 {
+		t.Errorf("I({A1,A3}) = %v, want %v", ranked[1].Importance, 0.03/0.224)
+	}
+	if math.Abs(ranked[0].Importance-0.8929) > 1e-4 || math.Abs(ranked[1].Importance-0.1339) > 1e-4 {
+		t.Errorf("importances %.4f/%.4f do not match the paper's 0.8929/0.1339",
+			ranked[0].Importance, ranked[1].Importance)
+	}
+}
+
+func TestBySize(t *testing.T) {
+	g, fam := fig4b(t)
+	ranked := BySize(g, fam)
+	if len(ranked) != 2 || ranked[0].Size != 1 || ranked[1].Size != 2 {
+		t.Fatalf("BySize sizes = %v", ranked)
+	}
+	if !reflect.DeepEqual(ranked[0].Labels, []string{"A2"}) {
+		t.Errorf("smallest RG = %v", ranked[0].Labels)
+	}
+	if !math.IsNaN(ranked[0].Prob) || !math.IsNaN(ranked[0].Importance) {
+		t.Error("size ranking should not carry probabilities")
+	}
+}
+
+func TestBySizeDeterministicTieBreak(t *testing.T) {
+	b := faultgraph.NewBuilder()
+	z := b.Basic("z")
+	aa := b.Basic("aa")
+	m := b.Basic("m")
+	e1 := b.Gate("E1", faultgraph.OR, z, aa, m)
+	b.SetTop(b.Gate("T", faultgraph.AND, e1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := BySize(g, fam)
+	var got []string
+	for _, r := range ranked {
+		got = append(got, r.Labels[0])
+	}
+	if !reflect.DeepEqual(got, []string{"aa", "m", "z"}) {
+		t.Errorf("tie break order = %v", got)
+	}
+}
+
+func TestTopProbAgainstExactEnumeration(t *testing.T) {
+	// Random small weighted graphs: inclusion-exclusion over minimal RGs
+	// must equal brute-force probability enumeration.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		g := randomWeightedDAG(rng, 2+rng.Intn(6), 1+rng.Intn(6))
+		fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.TopProbExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopProb(g, fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: inclusion-exclusion %v != exact %v", trial, got, want)
+		}
+	}
+}
+
+func TestTopProbEmptyFamily(t *testing.T) {
+	g, _ := fig4b(t)
+	p, err := TopProb(g, nil)
+	if err != nil || p != 0 {
+		t.Errorf("TopProb(empty) = %v, %v", p, err)
+	}
+}
+
+func TestTopProbMissingProbability(t *testing.T) {
+	g, err := faultgraph.FromSourceSets("T", 1, []faultgraph.SourceSet{
+		{Source: "E1", Components: []string{"A1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TopProb(g, fam); err == nil {
+		t.Error("TopProb accepted unweighted events")
+	}
+}
+
+func TestBonferroniBoundsBracketExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		g := randomWeightedDAG(rng, 3+rng.Intn(5), 1+rng.Intn(5))
+		fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := g.TopProbExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for depth := 1; depth <= 4; depth++ {
+			lo, hi := BonferroniBounds(g, fam, depth)
+			if exact < lo-1e-9 || exact > hi+1e-9 {
+				t.Errorf("trial %d depth %d: exact %v outside [%v, %v]", trial, depth, exact, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTopProbLargeFamilyFallback(t *testing.T) {
+	// A graph with > MaxExactRGs minimal RGs triggers the Bonferroni
+	// midpoint path; with small probabilities the bracket is tight.
+	b := faultgraph.NewBuilder()
+	var e1kids, e2kids []faultgraph.NodeID
+	for i := 0; i < 25; i++ {
+		e1kids = append(e1kids, b.BasicProb(labelN("x", i), 0.01))
+		e2kids = append(e2kids, b.BasicProb(labelN("y", i), 0.01))
+	}
+	e1 := b.Gate("E1", faultgraph.OR, e1kids...)
+	e2 := b.Gate("E2", faultgraph.OR, e2kids...)
+	b.SetTop(b.Gate("T", faultgraph.AND, e1, e2))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 625 {
+		t.Fatalf("family size %d, want 625", len(fam))
+	}
+	got, err := TopProb(g, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True Pr(T) = (1 - 0.99^25)^2. Karp-Luby at 10^5 samples has standard
+	// error well below 1e-3 here.
+	q := 1 - math.Pow(0.99, 25)
+	want := q * q
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("fallback TopProb = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestKarpLubyMatchesExactOnSmallFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		g := randomWeightedDAG(rng, 3+rng.Intn(4), 1+rng.Intn(4))
+		fam, err := riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fam) == 0 {
+			continue
+		}
+		exact, err := g.TopProbExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := KarpLubyEstimate(g, fam, 200_000, int64(trial+1))
+		if math.Abs(est-exact) > 0.01 {
+			t.Errorf("trial %d: Karp-Luby %v vs exact %v", trial, est, exact)
+		}
+	}
+}
+
+func TestKarpLubyEdgeCases(t *testing.T) {
+	g, fam := fig4b(t)
+	if got := KarpLubyEstimate(g, nil, 100, 1); got != 0 {
+		t.Errorf("empty family estimate = %v", got)
+	}
+	if got := KarpLubyEstimate(g, fam, 0, 1); got != 0 {
+		t.Errorf("zero samples estimate = %v", got)
+	}
+	a := KarpLubyEstimate(g, fam, 5000, 9)
+	b := KarpLubyEstimate(g, fam, 5000, 9)
+	if a != b {
+		t.Error("same seed gave different estimates")
+	}
+}
+
+func TestScore(t *testing.T) {
+	ranked := []Ranked{
+		{Size: 1, Importance: 0.8},
+		{Size: 2, Importance: 0.15},
+		{Size: 2, Importance: 0.05},
+	}
+	if got := Score(ranked, 2, ScoreSize); got != 3 {
+		t.Errorf("ScoreSize top-2 = %v, want 3", got)
+	}
+	if got := Score(ranked, 10, ScoreSize); got != 5 {
+		t.Errorf("ScoreSize capped = %v, want 5", got)
+	}
+	if got := Score(ranked, 2, ScoreImportance); math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("ScoreImportance top-2 = %v, want 0.95", got)
+	}
+}
+
+func labelN(prefix string, i int) string {
+	return prefix + string(rune('a'+i/5)) + string(rune('a'+i%5))
+}
+
+// randomWeightedDAG builds a random fault graph whose basic events all carry
+// probabilities.
+func randomWeightedDAG(r *rand.Rand, nb, ng int) *faultgraph.Graph {
+	b := faultgraph.NewBuilder()
+	var ids []faultgraph.NodeID
+	for i := 0; i < nb; i++ {
+		ids = append(ids, b.BasicProb(string(rune('a'+i)), 0.05+0.9*r.Float64()))
+	}
+	for i := 0; i < ng; i++ {
+		nkids := 1 + r.Intn(min(3, len(ids)))
+		perm := r.Perm(len(ids))[:nkids]
+		kids := make([]faultgraph.NodeID, nkids)
+		for j, p := range perm {
+			kids[j] = ids[p]
+		}
+		var id faultgraph.NodeID
+		switch r.Intn(3) {
+		case 0:
+			id = b.Gate(string(rune('A'+i)), faultgraph.AND, kids...)
+		case 1:
+			id = b.Gate(string(rune('A'+i)), faultgraph.OR, kids...)
+		default:
+			id = b.GateK(string(rune('A'+i)), 1+r.Intn(nkids), kids...)
+		}
+		ids = append(ids, id)
+	}
+	b.SetTop(b.Gate("TOP", faultgraph.OR, ids[len(ids)-1]))
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

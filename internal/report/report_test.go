@@ -1,0 +1,169 @@
+package report
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleAudits() []DeploymentAudit {
+	return []DeploymentAudit{
+		{
+			Deployment: "risky",
+			Expected:   2,
+			RGs: []RGEntry{
+				{Components: []string{"tor"}, Size: 1},
+				{Components: []string{"a", "b"}, Size: 2},
+			},
+			Unexpected:  1,
+			Score:       3,
+			FailureProb: 0.3,
+		},
+		{
+			Deployment: "safe",
+			Expected:   2,
+			RGs: []RGEntry{
+				{Components: []string{"x", "y"}, Size: 2},
+				{Components: []string{"p", "q"}, Size: 2},
+			},
+			Score:       4,
+			FailureProb: 0.02,
+		},
+		{
+			Deployment: "middling",
+			Expected:   2,
+			RGs: []RGEntry{
+				{Components: []string{"x", "y"}, Size: 2},
+				{Components: []string{"p", "q"}, Size: 2},
+				{Components: []string{"r", "s"}, Size: 2},
+			},
+			Score:       6,
+			FailureProb: 0.05,
+		},
+	}
+}
+
+func order(r *Report) []string {
+	var out []string
+	for _, a := range r.Audits {
+		out = append(out, a.Deployment)
+	}
+	return out
+}
+
+func TestSizeVector(t *testing.T) {
+	a := sampleAudits()[0]
+	if got := a.SizeVector(); !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Errorf("SizeVector = %v", got)
+	}
+	empty := DeploymentAudit{}
+	if got := empty.SizeVector(); len(got) != 0 {
+		t.Errorf("empty SizeVector = %v", got)
+	}
+}
+
+func TestRankBySizeVector(t *testing.T) {
+	r := &Report{Audits: sampleAudits()}
+	r.Rank(CompareBySizeVector)
+	if got := order(r); !reflect.DeepEqual(got, []string{"safe", "middling", "risky"}) {
+		t.Errorf("size-vector order = %v", got)
+	}
+}
+
+func TestRankByFailureProb(t *testing.T) {
+	r := &Report{Audits: sampleAudits()}
+	r.Rank(CompareByFailureProb)
+	if got := order(r); !reflect.DeepEqual(got, []string{"safe", "middling", "risky"}) {
+		t.Errorf("probability order = %v", got)
+	}
+	// NaN probabilities sink to the bottom.
+	r.Audits[0].FailureProb = math.NaN()
+	r.Rank(CompareByFailureProb)
+	if r.Audits[len(r.Audits)-1].Deployment != "safe" {
+		t.Errorf("NaN should rank last: %v", order(r))
+	}
+}
+
+func TestRankByScore(t *testing.T) {
+	r := &Report{Audits: sampleAudits()}
+	r.Rank(CompareByScore)
+	if got := order(r); !reflect.DeepEqual(got, []string{"middling", "safe", "risky"}) {
+		t.Errorf("score order = %v", got)
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	r := &Report{Audits: []DeploymentAudit{
+		{Deployment: "bbb", Score: 1},
+		{Deployment: "aaa", Score: 1},
+	}}
+	r.Rank(CompareByScore)
+	if got := order(r); !reflect.DeepEqual(got, []string{"aaa", "bbb"}) {
+		t.Errorf("tie-break order = %v", got)
+	}
+}
+
+func TestBest(t *testing.T) {
+	r := &Report{}
+	if _, err := r.Best(); err == nil {
+		t.Error("Best on empty report succeeded")
+	}
+	r.Audits = sampleAudits()
+	r.Rank(CompareByFailureProb)
+	best, err := r.Best()
+	if err != nil || best.Deployment != "safe" {
+		t.Errorf("Best = %v, %v", best, err)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{Title: "demo", Audits: sampleAudits()}
+	r.Rank(CompareBySizeVector)
+	var sb strings.Builder
+	if err := r.Render(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "#1 safe", "Pr(outage)", "… 1 more RGs", "unexpected-RGs=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportRenderUnweighted(t *testing.T) {
+	r := &Report{Title: "u", Audits: []DeploymentAudit{{
+		Deployment:  "d",
+		RGs:         []RGEntry{{Components: []string{"c"}, Size: 1, Prob: math.NaN(), Importance: math.NaN()}},
+		FailureProb: math.NaN(),
+	}}}
+	var sb strings.Builder
+	if err := r.Render(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Errorf("unweighted render leaks NaN:\n%s", sb.String())
+	}
+}
+
+func TestPIAReportRankAndRender(t *testing.T) {
+	r := &PIAReport{Title: "pia", Entries: []PIAEntry{
+		{Providers: []string{"B", "C"}, Jaccard: 0.5},
+		{Providers: []string{"A", "B"}, Jaccard: 0.1},
+		{Providers: []string{"A", "C"}, Jaccard: 0.1},
+	}}
+	r.Rank()
+	if r.Entries[0].Providers[1] != "B" { // A&B before A&C on tie
+		t.Errorf("PIA order = %v", r.Entries)
+	}
+	r.Entries[0].Estimated = true
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "(MinHash)") || !strings.Contains(out, "B & C") {
+		t.Errorf("PIA render:\n%s", out)
+	}
+}

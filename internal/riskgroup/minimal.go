@@ -1,0 +1,202 @@
+package riskgroup
+
+import (
+	"fmt"
+
+	"indaas/internal/faultgraph"
+)
+
+// MinimalOptions tunes the exact minimal RG algorithm.
+type MinimalOptions struct {
+	// MaxSets aborts the computation if any intermediate family exceeds this
+	// many cut sets (0 = unlimited). The algorithm is NP-hard [59]; this is
+	// the safety valve for adversarial graphs.
+	MaxSets int
+	// MaxSize prunes cut sets larger than this many events (0 = unlimited).
+	// Pruning keeps the result sound (every returned set is a minimal RG)
+	// but possibly incomplete above the bound; useful when only RGs up to
+	// the redundancy level matter.
+	MaxSize int
+	// FinalMinimizeOnly disables per-node absorption, minimizing only the
+	// top family. Exposed for the ablation bench; dramatically slower on
+	// graphs with shared subtrees.
+	FinalMinimizeOnly bool
+}
+
+// MinimalRGs computes the family of all minimal RGs of g's top event using
+// the classic bottom-up cut-set construction (§4.1.2): basic events
+// contribute {themselves}; OR gates union their children's families; AND
+// gates take the cartesian product (set-union of one cut per child); K-of-N
+// gates union the products over every K-subset of children. Families are
+// minimized by absorption at every node.
+//
+// The result is sorted by size, then lexicographically.
+func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
+	families := make([][]RG, g.Len())
+	postings := make(map[faultgraph.NodeID][]int)
+	for _, id := range g.TopoOrder() {
+		n := g.Node(id)
+		var fam []RG
+		switch n.Gate {
+		case faultgraph.Basic:
+			fam = []RG{{id}}
+		case faultgraph.OR:
+			total := 0
+			for _, c := range n.Children {
+				total += len(families[c])
+			}
+			fam = make([]RG, 0, total)
+			for _, c := range n.Children {
+				fam = append(fam, families[c]...)
+			}
+			if !opts.FinalMinimizeOnly {
+				fam = minimize(fam, postings)
+			}
+		case faultgraph.AND:
+			var err error
+			fam, err = productFamilies(childFamilies(families, n.Children), opts, postings)
+			if err != nil {
+				return nil, fmt.Errorf("riskgroup: at event %q: %w", n.Label, err)
+			}
+		case faultgraph.KofN:
+			// Union of products over all K-subsets of children.
+			children := n.Children
+			subset := make([]int, n.K)
+			var all []RG
+			var rec func(start, depth int) error
+			rec = func(start, depth int) error {
+				if depth == n.K {
+					chosen := make([][]RG, n.K)
+					for i, ci := range subset {
+						chosen[i] = families[children[ci]]
+					}
+					prod, err := productFamilies(chosen, opts, postings)
+					if err != nil {
+						return err
+					}
+					all = append(all, prod...)
+					if opts.MaxSets > 0 && len(all) > opts.MaxSets {
+						return fmt.Errorf("family exceeds MaxSets=%d", opts.MaxSets)
+					}
+					return nil
+				}
+				for i := start; i <= len(children)-(n.K-depth); i++ {
+					subset[depth] = i
+					if err := rec(i+1, depth+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := rec(0, 0); err != nil {
+				return nil, fmt.Errorf("riskgroup: at event %q: %w", n.Label, err)
+			}
+			if !opts.FinalMinimizeOnly {
+				all = minimize(all, postings)
+			}
+			fam = all
+		}
+		if opts.MaxSets > 0 && len(fam) > opts.MaxSets {
+			return nil, fmt.Errorf("riskgroup: at event %q: family of %d sets exceeds MaxSets=%d", n.Label, len(fam), opts.MaxSets)
+		}
+		families[id] = fam
+	}
+	top := families[g.Top()]
+	top = minimize(top, postings) // idempotent when per-node minimization ran
+	sortFamily(top)
+	return top, nil
+}
+
+func childFamilies(families [][]RG, children []faultgraph.NodeID) [][]RG {
+	out := make([][]RG, len(children))
+	for i, c := range children {
+		out[i] = families[c]
+	}
+	return out
+}
+
+// productFamilies folds the cartesian product over the child families,
+// unioning one cut set from each child and minimizing as it goes.
+func productFamilies(fams [][]RG, opts MinimalOptions, postings map[faultgraph.NodeID][]int) ([]RG, error) {
+	if len(fams) == 0 {
+		return nil, nil
+	}
+	// Start from the smallest family to keep intermediates small.
+	order := make([]int, len(fams))
+	for i := range order {
+		order[i] = i
+	}
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if len(fams[order[j]]) < len(fams[order[i]]) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	acc := fams[order[0]]
+	for _, oi := range order[1:] {
+		next := fams[oi]
+		var out []RG
+		seen := make(map[string]struct{}, len(acc)*min(len(next), 8))
+		for _, a := range acc {
+			for _, b := range next {
+				u := mergeUnion(a, b)
+				if opts.MaxSize > 0 && len(u) > opts.MaxSize {
+					continue
+				}
+				k := u.key()
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				out = append(out, u)
+				if opts.MaxSets > 0 && len(out) > 4*opts.MaxSets {
+					return nil, fmt.Errorf("product exceeds 4×MaxSets=%d before minimization", 4*opts.MaxSets)
+				}
+			}
+		}
+		if !opts.FinalMinimizeOnly {
+			out = minimize(out, postings)
+		}
+		if opts.MaxSets > 0 && len(out) > opts.MaxSets {
+			return nil, fmt.Errorf("product family of %d sets exceeds MaxSets=%d", len(out), opts.MaxSets)
+		}
+		acc = out
+	}
+	return acc, nil
+}
+
+// BruteForceMinimalRGs enumerates every subset of basic events up to
+// maxSize and keeps the minimal failing ones. Exponential; used to validate
+// MinimalRGs in tests on small graphs.
+func BruteForceMinimalRGs(g *faultgraph.Graph, maxSize int) []RG {
+	basics := g.BasicEvents()
+	var all []RG
+	a := g.NewAssignment()
+	var rec func(start int, cur RG)
+	rec = func(start int, cur RG) {
+		if len(cur) > 0 {
+			for _, id := range cur {
+				a[id] = true
+			}
+			failed := g.Evaluate(a)
+			for _, id := range cur {
+				a[id] = false
+			}
+			if failed {
+				cp := make(RG, len(cur))
+				copy(cp, cur)
+				all = append(all, cp)
+				return // supersets are non-minimal; pruned by absorption anyway
+			}
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < len(basics); i++ {
+			rec(i+1, append(cur, basics[i]))
+		}
+	}
+	rec(0, nil)
+	return Minimize(all)
+}

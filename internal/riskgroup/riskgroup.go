@@ -1,0 +1,261 @@
+// Package riskgroup determines risk groups (RGs) in fault graphs (§4.1.2).
+//
+// An RG is a set of basic failure events whose simultaneous occurrence fires
+// the top event. A minimal RG stops being an RG if any member is removed —
+// minimal RGs are the fault-tree "minimal cut sets" of the deployment.
+//
+// Two pluggable algorithms are provided, mirroring the paper:
+//
+//   - MinimalRGs: exact bottom-up cut-set computation (NP-hard in general);
+//   - Sampler: Monte-Carlo failure sampling — linear per round, fast,
+//     non-deterministic and possibly incomplete.
+package riskgroup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"indaas/internal/faultgraph"
+)
+
+// RG is a risk group: a set of basic events, held as sorted node IDs.
+type RG []faultgraph.NodeID
+
+// key returns a compact unique byte-string for map keys.
+func (rg RG) key() string {
+	buf := make([]byte, 4*len(rg))
+	for i, id := range rg {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(id))
+	}
+	return string(buf)
+}
+
+// contains reports whether sorted rg contains id.
+func (rg RG) contains(id faultgraph.NodeID) bool {
+	i := sort.Search(len(rg), func(i int) bool { return rg[i] >= id })
+	return i < len(rg) && rg[i] == id
+}
+
+// subsetOf reports whether rg ⊆ other, both sorted.
+func (rg RG) subsetOf(other RG) bool {
+	if len(rg) > len(other) {
+		return false
+	}
+	i := 0
+	for _, id := range rg {
+		for i < len(other) && other[i] < id {
+			i++
+		}
+		if i >= len(other) || other[i] != id {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// mergeUnion returns the sorted union of two sorted RGs.
+func mergeUnion(a, b RG) RG {
+	out := make(RG, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Labels maps an RG to its sorted component labels.
+func Labels(g *faultgraph.Graph, rg RG) []string {
+	return g.SortedLabels([]faultgraph.NodeID(rg))
+}
+
+// FromLabels builds an RG from basic-event labels. Unknown or non-basic
+// labels yield an error.
+func FromLabels(g *faultgraph.Graph, labels ...string) (RG, error) {
+	rg := make(RG, 0, len(labels))
+	for _, l := range labels {
+		id, ok := g.Lookup(l)
+		if !ok {
+			return nil, fmt.Errorf("riskgroup: unknown event %q", l)
+		}
+		if g.Node(id).Gate != faultgraph.Basic {
+			return nil, fmt.Errorf("riskgroup: event %q is not basic", l)
+		}
+		rg = append(rg, id)
+	}
+	sort.Slice(rg, func(i, j int) bool { return rg[i] < rg[j] })
+	// Dedup.
+	out := rg[:0]
+	for i, id := range rg {
+		if i == 0 || rg[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// IsRG verifies by evaluation that rg actually fails the top event.
+func IsRG(g *faultgraph.Graph, rg RG) bool {
+	a := g.NewAssignment()
+	for _, id := range rg {
+		a[id] = true
+	}
+	return g.Evaluate(a)
+}
+
+// IsMinimalRG verifies that rg is an RG and that removing any single member
+// stops it being one.
+func IsMinimalRG(g *faultgraph.Graph, rg RG) bool {
+	if !IsRG(g, rg) {
+		return false
+	}
+	a := g.NewAssignment()
+	for _, id := range rg {
+		a[id] = true
+	}
+	for _, id := range rg {
+		a[id] = false
+		if g.Evaluate(a) {
+			return false
+		}
+		a[id] = true
+	}
+	return true
+}
+
+// Minimize removes duplicates and non-minimal sets from a family of RGs:
+// any RG that is a superset of another RG in the family is dropped
+// (absorption). The result is sorted by size, then lexicographically.
+func Minimize(sets []RG) []RG {
+	return minimize(sets, nil)
+}
+
+// minimize is the internal absorption routine. If scratch postings map is
+// provided it is reused (cleared) to reduce allocation in hot paths.
+func minimize(sets []RG, postings map[faultgraph.NodeID][]int) []RG {
+	if len(sets) == 0 {
+		return nil
+	}
+	// Dedup identical sets first.
+	seen := make(map[string]struct{}, len(sets))
+	uniq := make([]RG, 0, len(sets))
+	for _, s := range sets {
+		k := s.key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, s)
+	}
+	sortFamily(uniq)
+	if postings == nil {
+		postings = make(map[faultgraph.NodeID][]int)
+	} else {
+		for k := range postings {
+			delete(postings, k)
+		}
+	}
+	kept := make([]RG, 0, len(uniq))
+	counter := make(map[int]int)
+	// Only strictly smaller sets can absorb a candidate (equal-size
+	// absorbers would be duplicates, removed above), so postings are
+	// published one size class at a time: candidates within a class skip
+	// each other entirely — a large win on product-shaped families where
+	// most sets share a size.
+	classStart := 0 // first kept index not yet in postings
+	prevSize := -1
+	publish := func(upto int) {
+		for i := classStart; i < upto; i++ {
+			for _, e := range kept[i] {
+				postings[e] = append(postings[e], i)
+			}
+		}
+		classStart = upto
+	}
+	for _, s := range uniq {
+		if len(s) != prevSize {
+			publish(len(kept))
+			prevSize = len(s)
+		}
+		absorbed := false
+		// A kept set t absorbs s iff t ⊆ s. Count, per kept set, how many of
+		// its members appear in s; t ⊆ s iff the count reaches len(t).
+		for k := range counter {
+			delete(counter, k)
+		}
+		for _, e := range s {
+			for _, ti := range postings[e] {
+				counter[ti]++
+				if counter[ti] == len(kept[ti]) {
+					absorbed = true
+					break
+				}
+			}
+			if absorbed {
+				break
+			}
+		}
+		if absorbed {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// sortFamily orders RGs by size then lexicographically by member IDs.
+func sortFamily(sets []RG) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Unexpected returns the RGs smaller than the expected redundancy level
+// (§1: an unexpected RG is "a smaller than expected RG, whose failure could
+// disable the whole service despite redundancy efforts").
+func Unexpected(sets []RG, expected int) []RG {
+	var out []RG
+	for _, s := range sets {
+		if len(s) < expected {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Prob returns the probability that all events of rg fail simultaneously,
+// assuming independent basic events. Every member must carry a probability.
+func Prob(g *faultgraph.Graph, rg RG) (float64, error) {
+	p := 1.0
+	for _, id := range rg {
+		n := g.Node(id)
+		if !n.HasProb() {
+			return 0, fmt.Errorf("riskgroup: event %q has no probability", n.Label)
+		}
+		p *= n.Prob
+	}
+	return p, nil
+}

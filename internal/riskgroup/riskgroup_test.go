@@ -1,0 +1,473 @@
+package riskgroup
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"indaas/internal/faultgraph"
+)
+
+// fig4a builds the component-set example of Fig. 4a: E1 = {A1, A2},
+// E2 = {A2, A3}, two-way redundancy.
+func fig4a(t *testing.T) *faultgraph.Graph {
+	t.Helper()
+	g, err := faultgraph.FromSourceSets("T", 2, []faultgraph.SourceSet{
+		{Source: "E1", Components: []string{"A1", "A2"}},
+		{Source: "E2", Components: []string{"A2", "A3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fig4c builds a graph shaped like the paper's Fig. 4c: two servers, each
+// with network (redundant cores behind a shared ToR) and software (shared
+// libc6 under both programs).
+func fig4c(t *testing.T) *faultgraph.Graph {
+	t.Helper()
+	b := faultgraph.NewBuilder()
+	tor := b.Basic("ToR1")
+	core1 := b.Basic("Core1")
+	core2 := b.Basic("Core2")
+	libc := b.Basic("libc6")
+
+	mkServer := func(name, lib2 string) faultgraph.NodeID {
+		p1 := b.Gate(name+" path1", faultgraph.OR, tor, core1)
+		p2 := b.Gate(name+" path2", faultgraph.OR, tor, core2)
+		net := b.Gate(name+" network", faultgraph.AND, p1, p2)
+		other := b.Basic(lib2)
+		sw := b.Gate(name+" software", faultgraph.OR, libc, other)
+		return b.Gate(name, faultgraph.OR, net, sw)
+	}
+	s1 := mkServer("S1", "libgcc1")
+	s2 := mkServer("S2", "libsvn1")
+	b.SetTop(b.Gate("R", faultgraph.AND, s1, s2))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func labelsOf(g *faultgraph.Graph, fam []RG) [][]string {
+	out := make([][]string, len(fam))
+	for i, rg := range fam {
+		out[i] = Labels(g, rg)
+	}
+	return out
+}
+
+func TestMinimalRGsFig4a(t *testing.T) {
+	g := fig4a(t)
+	fam, err := MinimalRGs(g, MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: minimal RGs are {A2} and {A1, A3}.
+	want := [][]string{{"A2"}, {"A1", "A3"}}
+	if got := labelsOf(g, fam); !reflect.DeepEqual(got, want) {
+		t.Errorf("minimal RGs = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalRGsFig4c(t *testing.T) {
+	g := fig4c(t)
+	fam, err := MinimalRGs(g, MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labelsOf(g, fam)
+	// The paper: "the minimal RGs in Figure 4(c) are {ToR1 fails},
+	// {Core1 fails, Core2 fails}, etc."
+	want := [][]string{
+		{"ToR1"},
+		{"libc6"},
+		{"Core1", "Core2"},
+		{"libgcc1", "libsvn1"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("minimal RGs = %v, want %v", got, want)
+	}
+	for _, rg := range fam {
+		if !IsMinimalRG(g, rg) {
+			t.Errorf("%v is not a minimal RG", Labels(g, rg))
+		}
+	}
+}
+
+func TestMinimalRGsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(6), 1+r.Intn(7))
+		exact, err := MinimalRGs(g, MinimalOptions{})
+		if err != nil {
+			return false
+		}
+		brute := BruteForceMinimalRGs(g, len(g.BasicEvents()))
+		if len(exact) != len(brute) {
+			return false
+		}
+		for i := range exact {
+			if !reflect.DeepEqual(exact[i], brute[i]) {
+				return false
+			}
+		}
+		for _, rg := range exact {
+			if !IsMinimalRG(g, rg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimalRGsFinalMinimizeOnlyEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		g := randomDAG(r, 2+r.Intn(5), 1+r.Intn(5))
+		a, err := MinimalRGs(g, MinimalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MinimalRGs(g, MinimalOptions{FinalMinimizeOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("graph %d: per-node vs final-only minimization differ:\n%v\n%v",
+				i, labelsOf(g, a), labelsOf(g, b))
+		}
+	}
+}
+
+func TestMinimalRGsKofN(t *testing.T) {
+	b := faultgraph.NewBuilder()
+	x := b.Basic("x")
+	y := b.Basic("y")
+	z := b.Basic("z")
+	b.SetTop(b.GateK("top", 2, x, y, z))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := MinimalRGs(g, MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"x", "y"}, {"x", "z"}, {"y", "z"}}
+	if got := labelsOf(g, fam); !reflect.DeepEqual(got, want) {
+		t.Errorf("2-of-3 minimal RGs = %v, want %v", got, want)
+	}
+}
+
+func TestMinimalRGsMaxSets(t *testing.T) {
+	g := fig4c(t)
+	if _, err := MinimalRGs(g, MinimalOptions{MaxSets: 1}); err == nil {
+		t.Error("MaxSets=1 did not abort")
+	}
+}
+
+func TestMinimalRGsMaxSizeSound(t *testing.T) {
+	g := fig4c(t)
+	fam, err := MinimalRGs(g, MinimalOptions{MaxSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"ToR1"}, {"libc6"}}
+	if got := labelsOf(g, fam); !reflect.DeepEqual(got, want) {
+		t.Errorf("MaxSize=1 RGs = %v, want %v", got, want)
+	}
+	for _, rg := range fam {
+		if !IsMinimalRG(g, rg) {
+			t.Errorf("%v not minimal", Labels(g, rg))
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	sets := []RG{
+		{1, 2, 3},
+		{2},
+		{1, 3},
+		{2, 4}, // superset of {2}
+		{1, 3}, // duplicate
+		{5},
+	}
+	got := Minimize(sets)
+	want := []RG{{2}, {5}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Minimize = %v, want %v", got, want)
+	}
+	if Minimize(nil) != nil {
+		t.Error("Minimize(nil) != nil")
+	}
+}
+
+func TestMinimizeProperty(t *testing.T) {
+	f := func(raw [][]uint8) bool {
+		var sets []RG
+		for _, xs := range raw {
+			rg := make(RG, 0, len(xs))
+			seen := map[faultgraph.NodeID]bool{}
+			for _, x := range xs {
+				id := faultgraph.NodeID(x % 10)
+				if !seen[id] {
+					seen[id] = true
+					rg = append(rg, id)
+				}
+			}
+			if len(rg) == 0 {
+				continue
+			}
+			sortFamily([]RG{rg})
+			// sort members
+			for i := range rg {
+				for j := i + 1; j < len(rg); j++ {
+					if rg[j] < rg[i] {
+						rg[i], rg[j] = rg[j], rg[i]
+					}
+				}
+			}
+			sets = append(sets, rg)
+		}
+		out := Minimize(sets)
+		// 1. No member of out is subset of another.
+		for i := range out {
+			for j := range out {
+				if i != j && out[i].subsetOf(out[j]) {
+					return false
+				}
+			}
+		}
+		// 2. Every input set has a kept subset.
+		for _, s := range sets {
+			found := false
+			for _, k := range out {
+				if k.subsetOf(s) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnexpected(t *testing.T) {
+	sets := []RG{{1}, {2, 3}, {4, 5, 6}}
+	got := Unexpected(sets, 2)
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("Unexpected(expected=2) = %v", got)
+	}
+	if got := Unexpected(sets, 4); len(got) != 3 {
+		t.Errorf("Unexpected(expected=4) = %v", got)
+	}
+}
+
+func TestFromLabelsAndProb(t *testing.T) {
+	g := fig4a(t)
+	rg, err := FromLabels(g, "A1", "A3", "A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rg) != 2 {
+		t.Fatalf("FromLabels dedup failed: %v", rg)
+	}
+	if !IsRG(g, rg) || !IsMinimalRG(g, rg) {
+		t.Error("{A1,A3} should be a minimal RG")
+	}
+	if _, err := FromLabels(g, "nope"); err == nil {
+		t.Error("FromLabels accepted unknown label")
+	}
+	if _, err := FromLabels(g, "E1 fails"); err == nil {
+		t.Error("FromLabels accepted non-basic label")
+	}
+	if _, err := Prob(g, rg); err == nil {
+		t.Error("Prob without probabilities should fail")
+	}
+}
+
+func TestProb(t *testing.T) {
+	g, err := faultgraph.FromSourceSets("T", 2, []faultgraph.SourceSet{
+		{Source: "E1", Components: []string{"A1", "A2"}, Probs: map[string]float64{"A1": 0.1, "A2": 0.2}},
+		{Source: "E2", Components: []string{"A2", "A3"}, Probs: map[string]float64{"A2": 0.2, "A3": 0.3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := FromLabels(g, "A1", "A3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prob(g, rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.1*0.3 {
+		t.Errorf("Prob = %v, want 0.03", p)
+	}
+}
+
+func TestSamplerFindsAllOnSmallGraph(t *testing.T) {
+	g := fig4c(t)
+	fam, err := Sampler{Rounds: 4000, Shrink: true, Seed: 7}.Sample(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MinimalRGs(g, MinimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := DetectionRate(ref, fam); rate != 1 {
+		t.Errorf("detection rate = %v, want 1 (found %v)", rate, labelsOf(g, fam))
+	}
+	for _, rg := range fam {
+		if !IsMinimalRG(g, rg) {
+			t.Errorf("shrunken sample %v not minimal", Labels(g, rg))
+		}
+	}
+}
+
+func TestSamplerWithoutShrinkSound(t *testing.T) {
+	g := fig4c(t)
+	fam, err := Sampler{Rounds: 500, Seed: 3}.Sample(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) == 0 {
+		t.Fatal("no RGs sampled")
+	}
+	for _, rg := range fam {
+		if !IsRG(g, rg) {
+			t.Errorf("sampled %v is not an RG", Labels(g, rg))
+		}
+	}
+}
+
+func TestSamplerDeterministicBySeed(t *testing.T) {
+	g := fig4c(t)
+	a, err := Sampler{Rounds: 300, Shrink: true, Seed: 5}.Sample(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sampler{Rounds: 300, Shrink: true, Seed: 5}.Sample(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different families")
+	}
+	c, err := Sampler{Rounds: 300, Shrink: true, Seed: 6}.Sample(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c // different seed may or may not differ; just must not crash
+}
+
+func TestSamplerErrors(t *testing.T) {
+	g := fig4a(t)
+	if _, err := (Sampler{}).Sample(g); err == nil {
+		t.Error("Rounds=0 accepted")
+	}
+	if _, err := (Sampler{Rounds: 1, Bias: 2}).Sample(g); err == nil {
+		t.Error("Bias=2 accepted")
+	}
+	if _, err := (Sampler{Rounds: 1, UseEventProbs: true}).Sample(g); err == nil {
+		t.Error("UseEventProbs without probabilities accepted")
+	}
+}
+
+func TestSamplerUseEventProbs(t *testing.T) {
+	g, err := faultgraph.FromSourceSets("T", 2, []faultgraph.SourceSet{
+		{Source: "E1", Components: []string{"A1", "A2"}, Probs: map[string]float64{"A1": 0.5, "A2": 0.5}},
+		{Source: "E2", Components: []string{"A2", "A3"}, Probs: map[string]float64{"A2": 0.5, "A3": 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := Sampler{Rounds: 2000, Shrink: true, UseEventProbs: true, Seed: 11}.Sample(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := MinimalRGs(g, MinimalOptions{})
+	if rate := DetectionRate(ref, fam); rate != 1 {
+		t.Errorf("detection rate with event probs = %v", rate)
+	}
+}
+
+func TestDetectionRate(t *testing.T) {
+	ref := []RG{{1}, {2, 3}}
+	if got := DetectionRate(ref, []RG{{1}}); got != 0.5 {
+		t.Errorf("DetectionRate = %v, want 0.5", got)
+	}
+	if got := DetectionRate(ref, []RG{{1}, {2, 3}, {9}}); got != 1 {
+		t.Errorf("DetectionRate = %v, want 1", got)
+	}
+	if got := DetectionRate(nil, nil); got != 1 {
+		t.Errorf("DetectionRate(empty ref) = %v, want 1", got)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	cases := []struct {
+		a, b RG
+		want bool
+	}{
+		{RG{}, RG{1}, true},
+		{RG{1}, RG{1}, true},
+		{RG{1}, RG{1, 2}, true},
+		{RG{1, 3}, RG{1, 2, 3}, true},
+		{RG{1, 4}, RG{1, 2, 3}, false},
+		{RG{1, 2, 3}, RG{1, 2}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.subsetOf(c.b); got != c.want {
+			t.Errorf("case %d: %v ⊆ %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// randomDAG builds a random fault graph for property tests.
+func randomDAG(r *rand.Rand, nb, ng int) *faultgraph.Graph {
+	b := faultgraph.NewBuilder()
+	var ids []faultgraph.NodeID
+	for i := 0; i < nb; i++ {
+		ids = append(ids, b.Basic(string(rune('a'+i))))
+	}
+	for i := 0; i < ng; i++ {
+		nkids := 1 + r.Intn(min(3, len(ids)))
+		perm := r.Perm(len(ids))[:nkids]
+		kids := make([]faultgraph.NodeID, nkids)
+		for j, p := range perm {
+			kids[j] = ids[p]
+		}
+		var id faultgraph.NodeID
+		switch r.Intn(3) {
+		case 0:
+			id = b.Gate(string(rune('A'+i)), faultgraph.AND, kids...)
+		case 1:
+			id = b.Gate(string(rune('A'+i)), faultgraph.OR, kids...)
+		default:
+			id = b.GateK(string(rune('A'+i)), 1+r.Intn(nkids), kids...)
+		}
+		ids = append(ids, id)
+	}
+	b.SetTop(b.Gate("TOP", faultgraph.OR, ids[len(ids)-1]))
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

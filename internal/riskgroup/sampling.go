@@ -1,0 +1,158 @@
+package riskgroup
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indaas/internal/faultgraph"
+)
+
+// Sampler implements the failure sampling algorithm of §4.1.2: each round
+// assigns random failures to basic events (fair coin flips by default),
+// propagates them bottom-up, and, when the top event fails, records the
+// failed basic events as an RG.
+//
+// The algorithm runs in time linear in the graph size per round, is
+// non-deterministic (seeded here for reproducibility), and cannot guarantee
+// its RGs are minimal. With Shrink enabled each failing sample is greedily
+// reduced to an irreducible — hence minimal — RG before aggregation, which
+// is how "% of minimal RGs detected" (Fig. 7) is measured.
+type Sampler struct {
+	// Rounds is the number of sampling rounds (paper: 10³–10⁷).
+	Rounds int
+	// Bias is the per-event failure probability of the coin flip.
+	// 0 means the default fair coin (0.5).
+	Bias float64
+	// UseEventProbs flips each basic event with its own failure probability
+	// instead of Bias (ablation; requires probabilities on all events).
+	UseEventProbs bool
+	// Shrink greedily minimizes each failing sample.
+	Shrink bool
+	// Seed seeds the random generator; 0 means a fixed default.
+	Seed int64
+}
+
+// Sample runs the sampler on g and returns the deduplicated family of
+// detected RGs, sorted by size then lexicographically. With Shrink the
+// family is additionally minimized (every member verified irreducible).
+func (s Sampler) Sample(g *faultgraph.Graph) ([]RG, error) {
+	if s.Rounds <= 0 {
+		return nil, fmt.Errorf("riskgroup: Sampler.Rounds must be positive, got %d", s.Rounds)
+	}
+	bias := s.Bias
+	if bias == 0 {
+		bias = 0.5
+	}
+	if bias < 0 || bias > 1 {
+		return nil, fmt.Errorf("riskgroup: Sampler.Bias %v out of [0,1]", bias)
+	}
+	basics := g.BasicEvents()
+	if s.UseEventProbs {
+		for _, id := range basics {
+			if !g.Node(id).HasProb() {
+				return nil, fmt.Errorf("riskgroup: UseEventProbs set but event %q has no probability", g.Node(id).Label)
+			}
+		}
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := g.NewAssignment()
+	seen := make(map[string]struct{})
+	var out []RG
+	for round := 0; round < s.Rounds; round++ {
+		var failed RG
+		for _, id := range basics {
+			p := bias
+			if s.UseEventProbs {
+				p = g.Node(id).Prob
+			}
+			f := rng.Float64() < p
+			a[id] = f
+			if f {
+				failed = append(failed, id)
+			}
+		}
+		if len(failed) == 0 || !g.Evaluate(a) {
+			continue
+		}
+		rg := failed
+		if s.Shrink {
+			// Shrink in random order: a fixed removal order would collapse
+			// most samples onto the same few minimal RGs and cripple the
+			// detection rate on graphs with many cuts (Fig. 7).
+			shuffled := append(RG(nil), failed...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			rg = shrink(g, a, shuffled)
+			sortRG(rg)
+			// shrink leaves a dirty; reset the survivors' flags after copy.
+			for _, id := range failed {
+				a[id] = false
+			}
+		}
+		cp := make(RG, len(rg))
+		copy(cp, rg)
+		k := cp.key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, cp)
+	}
+	if s.Shrink {
+		out = Minimize(out)
+	}
+	sortFamily(out)
+	return out, nil
+}
+
+// sortRG orders an RG's members ascending (shrink output follows the
+// randomized removal order).
+func sortRG(rg RG) {
+	for i := 1; i < len(rg); i++ {
+		for j := i; j > 0 && rg[j] < rg[j-1]; j-- {
+			rg[j], rg[j-1] = rg[j-1], rg[j]
+		}
+	}
+}
+
+// shrink greedily removes events from a failing assignment while the top
+// event keeps failing, yielding an irreducible (minimal) RG contained in the
+// sample. a must reflect exactly the failures in failed.
+func shrink(g *faultgraph.Graph, a faultgraph.Assignment, failed RG) RG {
+	kept := make(RG, 0, len(failed))
+	remaining := append(RG(nil), failed...)
+	for i := 0; i < len(remaining); i++ {
+		id := remaining[i]
+		a[id] = false
+		if !g.Evaluate(a) {
+			a[id] = true // necessary: keep it
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// DetectionRate reports what fraction of the reference minimal RGs appear in
+// the detected family (Fig. 7's y-axis). Both families should be families of
+// minimal RGs (use Shrink when sampling).
+func DetectionRate(reference, detected []RG) float64 {
+	if len(reference) == 0 {
+		return 1
+	}
+	idx := make(map[string]struct{}, len(detected))
+	for _, rg := range detected {
+		idx[rg.key()] = struct{}{}
+	}
+	hit := 0
+	for _, rg := range reference {
+		if _, ok := idx[rg.key()]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(reference))
+}

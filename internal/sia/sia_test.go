@@ -1,0 +1,316 @@
+package sia
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"indaas/internal/depdb"
+	"indaas/internal/deps"
+	"indaas/internal/faultgraph"
+)
+
+// storageDB models the Fig. 2 / Fig. 3 sample distributed storage system:
+// S1 and S2 behind a shared ToR1 with redundant cores, per-server hardware,
+// and software with a shared libc6.
+func storageDB(t *testing.T) *depdb.DB {
+	t.Helper()
+	db := depdb.New()
+	err := db.Put(
+		deps.NewNetwork("S1", "Internet", "ToR1", "Core1"),
+		deps.NewNetwork("S1", "Internet", "ToR1", "Core2"),
+		deps.NewNetwork("S2", "Internet", "ToR1", "Core1"),
+		deps.NewNetwork("S2", "Internet", "ToR1", "Core2"),
+		deps.NewHardware("S1", "CPU", "S1-Intel(R)X5550@2.6GHz"),
+		deps.NewHardware("S1", "Disk", "S1-SED900"),
+		deps.NewHardware("S2", "CPU", "S2-Intel(R)X5550@2.6GHz"),
+		deps.NewHardware("S2", "Disk", "S2-SED900"),
+		deps.NewSoftware("QueryEngine1", "S1", "libc6", "libgcc1"),
+		deps.NewSoftware("Riak1", "S1", "libc6", "libsvn1"),
+		deps.NewSoftware("QueryEngine2", "S2", "libc6", "libgcc1"),
+		deps.NewSoftware("Riak2", "S2", "libc6", "libsvn1"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildGraphStructure(t *testing.T) {
+	db := storageDB(t)
+	g, err := BuildGraph(db, GraphSpec{Deployment: "storage", Servers: []string{"S1", "S2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := g.Node(g.Top())
+	if top.Gate != faultgraph.AND || len(top.Children) != 2 {
+		t.Fatalf("top gate %v with %d children", top.Gate, len(top.Children))
+	}
+	// Shared components must be shared basic events.
+	for _, shared := range []string{"ToR1", "Core1", "Core2", "libc6"} {
+		if _, ok := g.Lookup(shared); !ok {
+			t.Errorf("shared component %q missing", shared)
+		}
+	}
+	// Per-server hardware stays distinct.
+	if _, ok := g.Lookup("S1-SED900"); !ok {
+		t.Error("S1 disk missing")
+	}
+	// The single shared ToR fails the whole deployment.
+	if !g.EvaluateSet([]string{"ToR1"}) {
+		t.Error("ToR1 failure should fail the deployment")
+	}
+	// One core alone does not (paths are redundant).
+	if g.EvaluateSet([]string{"Core1"}) {
+		t.Error("one core should not fail the deployment")
+	}
+	if !g.EvaluateSet([]string{"Core1", "Core2"}) {
+		t.Error("both cores should fail the deployment")
+	}
+	// Shared libc6 fails both servers' software.
+	if !g.EvaluateSet([]string{"libc6"}) {
+		t.Error("libc6 failure should fail the deployment")
+	}
+	// Per-server disks must both fail to take the deployment down.
+	if g.EvaluateSet([]string{"S1-SED900"}) {
+		t.Error("one disk should not fail the deployment")
+	}
+	if !g.EvaluateSet([]string{"S1-SED900", "S2-SED900"}) {
+		t.Error("both disks should fail the deployment")
+	}
+}
+
+func TestBuildGraphKindFilter(t *testing.T) {
+	db := storageDB(t)
+	g, err := BuildGraph(db, GraphSpec{
+		Deployment: "netonly",
+		Servers:    []string{"S1", "S2"},
+		Kinds:      []deps.Kind{deps.KindNetwork},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Lookup("libc6"); ok {
+		t.Error("software component present despite network-only filter")
+	}
+	if _, ok := g.Lookup("S1-SED900"); ok {
+		t.Error("hardware component present despite network-only filter")
+	}
+	if _, ok := g.Lookup("ToR1"); !ok {
+		t.Error("network component missing")
+	}
+}
+
+func TestBuildGraphNofM(t *testing.T) {
+	db := depdb.New()
+	for _, s := range []string{"A", "B", "C"} {
+		if err := db.Put(deps.NewHardware(s, "Disk", s+"-disk")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2-of-3 deployment: fails once 2 servers fail.
+	g, err := BuildGraph(db, GraphSpec{Deployment: "kv", Servers: []string{"A", "B", "C"}, Needed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EvaluateSet([]string{"A-disk"}) {
+		t.Error("one server down should not fail 2-of-3")
+	}
+	if !g.EvaluateSet([]string{"A-disk", "C-disk"}) {
+		t.Error("two servers down should fail 2-of-3")
+	}
+}
+
+func TestBuildGraphProbabilities(t *testing.T) {
+	db := storageDB(t)
+	g, err := BuildGraph(db, GraphSpec{
+		Deployment: "weighted",
+		Servers:    []string{"S1", "S2"},
+		Kinds:      []deps.Kind{deps.KindNetwork},
+		Prob:       func(string) float64 { return 0.1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.BasicEvents() {
+		if g.Node(id).Prob != 0.1 {
+			t.Errorf("event %q prob = %v", g.Node(id).Label, g.Node(id).Prob)
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	db := storageDB(t)
+	if _, err := BuildGraph(db, GraphSpec{Deployment: "x"}); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := BuildGraph(db, GraphSpec{Deployment: "x", Servers: []string{"ghost"}}); err == nil {
+		t.Error("unknown server accepted")
+	}
+	if _, err := BuildGraph(db, GraphSpec{Deployment: "x", Servers: []string{"S1"}, Needed: 5}); err == nil {
+		t.Error("Needed > servers accepted")
+	}
+	// Kind filter that removes every dependency of a server.
+	db2 := depdb.New()
+	if err := db2.Put(deps.NewHardware("H", "CPU", "m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGraph(db2, GraphSpec{
+		Deployment: "x", Servers: []string{"H"}, Kinds: []deps.Kind{deps.KindNetwork},
+	}); err == nil {
+		t.Error("server with no matching dependency kinds accepted")
+	}
+}
+
+func TestAuditMinimalRGSizeRank(t *testing.T) {
+	db := storageDB(t)
+	spec := GraphSpec{Deployment: "storage", Servers: []string{"S1", "S2"}}
+	g, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := Audit(g, spec, Options{Algorithm: MinimalRG, RankMode: RankBySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Deployment != "storage" || audit.Expected != 2 {
+		t.Errorf("audit header: %+v", audit)
+	}
+	// Unexpected (size-1) RGs: the shared ToR1 plus every package shared by
+	// programs running on both servers — libc6, libgcc1 (both QueryEngines)
+	// and libsvn1 (both Riaks).
+	if audit.Unexpected != 4 {
+		t.Errorf("unexpected RGs = %d, want 4", audit.Unexpected)
+	}
+	if len(audit.RGs) < 4 || audit.RGs[3].Size != 1 {
+		t.Fatalf("first RGs: %+v", audit.RGs)
+	}
+	var singles []string
+	for _, rg := range audit.RGs[:4] {
+		singles = append(singles, strings.Join(rg.Components, ","))
+	}
+	if !reflect.DeepEqual(singles, []string{"ToR1", "libc6", "libgcc1", "libsvn1"}) {
+		t.Errorf("size-1 RGs = %v", singles)
+	}
+	if !math.IsNaN(audit.FailureProb) {
+		t.Error("unweighted audit should have NaN failure probability")
+	}
+	if audit.Algorithm != "minimal-rg" {
+		t.Errorf("algorithm = %q", audit.Algorithm)
+	}
+}
+
+func TestAuditSamplingMatchesMinimal(t *testing.T) {
+	db := storageDB(t)
+	spec := GraphSpec{Deployment: "storage", Servers: []string{"S1", "S2"}}
+	g, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Audit(g, spec, Options{Algorithm: MinimalRG, RankMode: RankBySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Audit(g, spec, Options{Algorithm: FailureSampling, Rounds: 5000, Seed: 3, RankMode: RankBySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On this small graph sampling with shrink finds the full family.
+	if !reflect.DeepEqual(exact.SizeVector(), sampled.SizeVector()) {
+		t.Errorf("size vectors differ: exact %v, sampled %v", exact.SizeVector(), sampled.SizeVector())
+	}
+}
+
+func TestAuditProbabilityRanking(t *testing.T) {
+	db := storageDB(t)
+	spec := GraphSpec{
+		Deployment: "weighted",
+		Servers:    []string{"S1", "S2"},
+		Kinds:      []deps.Kind{deps.KindNetwork},
+		Prob:       func(string) float64 { return 0.1 },
+	}
+	g, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := Audit(g, spec, Options{Algorithm: MinimalRG, RankMode: RankByProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal RGs: {ToR1} (p=0.1) and {Core1,Core2} (p=0.01).
+	// Pr(T) = 0.1 + 0.01 − 0.001 = 0.109.
+	if math.Abs(audit.FailureProb-0.109) > 1e-12 {
+		t.Errorf("Pr(T) = %v, want 0.109", audit.FailureProb)
+	}
+	if audit.RGs[0].Components[0] != "ToR1" {
+		t.Errorf("top RG = %v, want ToR1", audit.RGs[0].Components)
+	}
+	if math.Abs(audit.RGs[0].Importance-0.1/0.109) > 1e-9 {
+		t.Errorf("I(ToR1) = %v", audit.RGs[0].Importance)
+	}
+}
+
+func TestAuditDeploymentsRanksAlternatives(t *testing.T) {
+	// Three alternatives: shared-everything, shared-ToR, fully disjoint.
+	db := depdb.New()
+	err := db.Put(
+		// a1, a2 behind the same single-homed ToR and core.
+		deps.NewNetwork("a1", "Internet", "torA", "coreA"),
+		deps.NewNetwork("a2", "Internet", "torA", "coreA"),
+		// b1, b2 share only the ToR.
+		deps.NewNetwork("b1", "Internet", "torB", "coreB1"),
+		deps.NewNetwork("b2", "Internet", "torB", "coreB2"),
+		// c1, c2 fully disjoint.
+		deps.NewNetwork("c1", "Internet", "torC1", "coreC1"),
+		deps.NewNetwork("c2", "Internet", "torC2", "coreC2"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []GraphSpec{
+		{Deployment: "shared-all", Servers: []string{"a1", "a2"}},
+		{Deployment: "shared-tor", Servers: []string{"b1", "b2"}},
+		{Deployment: "disjoint", Servers: []string{"c1", "c2"}},
+	}
+	rep, err := AuditDeployments(db, "alternatives", specs, Options{Algorithm: MinimalRG, RankMode: RankBySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, a := range rep.Audits {
+		order = append(order, a.Deployment)
+	}
+	want := []string{"disjoint", "shared-tor", "shared-all"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("deployment ranking = %v, want %v", order, want)
+	}
+	best, err := rep.Best()
+	if err != nil || best.Deployment != "disjoint" {
+		t.Errorf("Best = %v, %v", best, err)
+	}
+	if rep.Audits[0].Unexpected != 0 || rep.Audits[2].Unexpected == 0 {
+		t.Error("unexpected RG counts wrong")
+	}
+}
+
+func TestAuditDeploymentsEmpty(t *testing.T) {
+	if _, err := AuditDeployments(depdb.New(), "t", nil, Options{}); err == nil {
+		t.Error("empty spec list accepted")
+	}
+}
+
+func TestAuditUnknownOptions(t *testing.T) {
+	db := storageDB(t)
+	spec := GraphSpec{Deployment: "x", Servers: []string{"S1"}}
+	g, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Audit(g, spec, Options{Algorithm: Algorithm(9)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Audit(g, spec, Options{RankMode: RankMode(9)}); err == nil {
+		t.Error("unknown rank mode accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package swpkg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file freezes the synthetic key-value-store package universe behind
+// the Table 2 / §6.2.3 reproduction.
+//
+// The paper measured Jaccard similarities between the apt dependency
+// closures of Riak (Cloud1), MongoDB (Cloud2), Redis (Cloud3) and CouchDB
+// (Cloud4). The actual closures are not published, but any four sets are
+// characterized by their 15 Venn-region cardinalities. cmd/vennsolve
+// searched for region sizes matching Table 2's ten similarities; the
+// system is mutually inconsistent as exact Jaccards of four fixed sets
+// (continuous minimax residual ≈ 0.002 — consistent with MinHash estimation
+// noise in the original measurements), so the frozen solution below matches
+// every entry within ±0.0034 and preserves both of Table 2's rankings
+// exactly. See EXPERIMENTS.md.
+
+// Store bit assignment within region masks.
+const (
+	bitRiak = 1 << iota
+	bitMongoDB
+	bitRedis
+	bitCouchDB
+)
+
+// kvStores maps the store name to its region bit, in cloud order.
+var kvStores = []struct {
+	Name string
+	Bit  int
+}{
+	{"riak", bitRiak},
+	{"mongodb", bitMongoDB},
+	{"redis", bitRedis},
+	{"couchdb", bitCouchDB},
+}
+
+// kvRegionSizes is the frozen cmd/vennsolve solution (seed 3, scale 1200).
+// kvRegionSizes[mask] is the number of packages shared by exactly the
+// stores in mask. Singleton regions include the store package itself.
+var kvRegionSizes = map[int]int{
+	0b0001: 5,
+	0b0010: 229,
+	0b0011: 219,
+	0b0100: 107,
+	0b0101: 66,
+	0b0111: 10,
+	0b1000: 241,
+	0b1001: 42,
+	0b1010: 13,
+	0b1011: 1,
+	0b1100: 127,
+	0b1111: 133,
+}
+
+// kvAliases gives the first packages of selected regions realistic Debian
+// names, so that sample records read like the paper's Fig. 3. Counts are
+// unchanged: aliases replace generated names one-for-one.
+var kvAliases = map[int][]Package{
+	0b1111: {
+		{Name: "libc6", Version: "2.19"},
+		{Name: "libgcc1", Version: "1:4.9.2"},
+		{Name: "zlib1g", Version: "1:1.2.8"},
+		{Name: "libstdc++6", Version: "4.9.2"},
+		{Name: "libssl1.0.0", Version: "1.0.1k"}, // the Heartbleed-class shared dependency [23]
+	},
+	0b0001: {
+		{Name: "libsvn1", Version: "1.8.10"},
+		{Name: "erlang-base", Version: "17.3"},
+	},
+	0b0010: {
+		{Name: "libboost-system", Version: "1.55.0"},
+		{Name: "libsnappy1", Version: "1.1.2"},
+	},
+	0b0100: {
+		{Name: "libjemalloc1", Version: "3.6.0"},
+	},
+	0b1000: {
+		{Name: "libicu52", Version: "52.1"},
+		{Name: "libmozjs185", Version: "1.8.5"},
+	},
+}
+
+func regionTag(mask int) string {
+	tags := []string{"rk", "mg", "rd", "cd"}
+	var parts []string
+	for i, s := range kvStores {
+		if mask&s.Bit != 0 {
+			parts = append(parts, tags[i])
+		}
+	}
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "-"
+		}
+		out += p
+	}
+	return out
+}
+
+// KeyValueStoreUniverse builds the canned universe containing the four
+// key-value stores and their dependency closures. It returns the universe
+// and the store root package names in cloud order (Cloud1..Cloud4):
+// riak, mongodb, redis, couchdb.
+//
+// Within each Venn region the packages form a dependency chain, and every
+// store in the region depends on the chain's head — so resolving a store's
+// closure genuinely exercises recursive resolution, and the closure of
+// store S is exactly the union of the regions containing S.
+func KeyValueStoreUniverse() (*Universe, []string) {
+	u := NewUniverse()
+	heads := make(map[int]string) // region mask -> chain head package name
+	masks := make([]int, 0, len(kvRegionSizes))
+	for m := range kvRegionSizes {
+		masks = append(masks, m)
+	}
+	sort.Ints(masks)
+	for _, mask := range masks {
+		count := kvRegionSizes[mask]
+		names := regionPackages(mask, count)
+		// Chain: names[i] depends on names[i+1].
+		for i, p := range names {
+			if i+1 < len(names) {
+				p.Depends = []string{names[i+1].Name}
+			}
+			if err := u.Add(p); err != nil {
+				panic("swpkg: canned universe must build: " + err.Error())
+			}
+		}
+		if len(names) > 0 {
+			heads[mask] = names[0].Name
+		}
+	}
+	var roots []string
+	for _, s := range kvStores {
+		var dependsOn []string
+		for _, mask := range masks {
+			if mask&s.Bit != 0 {
+				dependsOn = append(dependsOn, heads[mask])
+			}
+		}
+		if err := u.Add(Package{Name: s.Name, Version: storeVersion(s.Name), Depends: dependsOn}); err != nil {
+			panic("swpkg: canned universe must build: " + err.Error())
+		}
+		roots = append(roots, s.Name)
+	}
+	return u, roots
+}
+
+// regionPackages generates the packages of one region. The store package
+// itself counts against its singleton region, so singleton regions generate
+// one fewer synthetic package.
+func regionPackages(mask, count int) []Package {
+	singleton := mask == bitRiak || mask == bitMongoDB || mask == bitRedis || mask == bitCouchDB
+	if singleton {
+		count-- // the store package occupies one slot of this region
+	}
+	out := make([]Package, 0, count)
+	out = append(out, kvAliases[mask]...)
+	if len(out) > count {
+		out = out[:count]
+	}
+	tag := regionTag(mask)
+	for i := len(out); i < count; i++ {
+		out = append(out, Package{
+			Name:    fmt.Sprintf("lib%s-%03d", tag, i),
+			Version: "1.0",
+		})
+	}
+	return out
+}
+
+func storeVersion(name string) string {
+	switch name {
+	case "riak":
+		return "1.4.8"
+	case "mongodb":
+		return "2.6.5"
+	case "redis":
+		return "2.8.17"
+	case "couchdb":
+		return "1.6.1"
+	default:
+		return "1.0"
+	}
+}
+
+// Table2Paper returns the paper's published Table 2 values keyed by the
+// sorted cloud indices (1-based) of the deployment, for experiment
+// comparison output.
+func Table2Paper() map[string]float64 {
+	return map[string]float64{
+		"1+2": 0.5059, "1+3": 0.2939, "1+4": 0.2081,
+		"2+3": 0.1547, "2+4": 0.1419, "3+4": 0.3489,
+		"1+2+3": 0.1536, "1+2+4": 0.1207, "1+3+4": 0.1353, "2+3+4": 0.1128,
+	}
+}

@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BensonDC constructs the data-center topology of the paper's first case
+// study (§6.2.1, Fig. 6a), modelled after a measured data center from
+// Benson et al. [9]: 33 top-of-rack switches e1..e33, each serving one rack,
+// and four core routers — b1, b2 (border tier) and c1, c2 (upper core tier)
+// — connecting the ToRs to the Internet.
+//
+// The original measurement data is not public. This reconstruction wires the
+// ToRs so that the case study's published ground truth holds exactly:
+//
+//   - 20 candidate racks host the audited service (BensonCandidateRacks);
+//   - of the C(20,2) = 190 two-way redundancy deployments, exactly 27 have
+//     no unexpected (size-1) risk group;
+//   - with every device failing independently with probability 0.1,
+//     {Rack5, Rack29} is the unique deployment with the lowest failure
+//     probability.
+//
+// Wiring plan (each rack's representative server is Rack<i>, behind ToR e<i>):
+//
+//	Rack29:            e29→b1→c1 and e29→b1→c2   (dual core, single border)
+//	Rack5:             e5→b2→c1  and e5→b2→c2    (dual core, single border)
+//	Racks 2,3:         single route e→b1→c1
+//	Racks 9,14,21,27:  single route e→b2→c2
+//	12 other candidates: single route e→b1→c2
+//	13 non-candidates: dual routes e→b1→c1 and e→b2→c2
+func BensonDC() *Topology {
+	b := newTopologyBuilder("benson-dc")
+	for _, r := range []string{"b1", "b2"} {
+		b.addDevice(r, KindAgg, -1)
+	}
+	for _, r := range []string{"c1", "c2"} {
+		b.addDevice(r, KindCore, -1)
+	}
+	for i := 1; i <= bensonToRs; i++ {
+		b.addDevice(fmt.Sprintf("e%d", i), KindToR, -1)
+		b.addDevice(rackName(i), KindServer, -1)
+	}
+	addSingle := func(rack int, border, core string) {
+		b.addRoute(rackName(rack), fmt.Sprintf("e%d", rack), border, core)
+	}
+	for _, i := range bensonGroupB1C1 {
+		addSingle(i, "b1", "c1")
+	}
+	for _, i := range bensonGroupB2C2 {
+		addSingle(i, "b2", "c2")
+	}
+	for _, i := range bensonGroupB1C2 {
+		addSingle(i, "b1", "c2")
+	}
+	// Rack 29: both cores behind b1. Rack 5: both cores behind b2.
+	addSingle(29, "b1", "c1")
+	addSingle(29, "b1", "c2")
+	addSingle(5, "b2", "c1")
+	addSingle(5, "b2", "c2")
+	// Non-candidate racks: fully redundant dual-homing.
+	for i := 1; i <= bensonToRs; i++ {
+		if !bensonCandidateSet[i] {
+			addSingle(i, "b1", "c1")
+			addSingle(i, "b2", "c2")
+		}
+	}
+	t, err := b.build()
+	if err != nil {
+		panic("topology: BensonDC construction is static and must not fail: " + err.Error())
+	}
+	return t
+}
+
+const bensonToRs = 33
+
+var (
+	// bensonGroupB1C1 are candidates single-routed via b1 and c1.
+	bensonGroupB1C1 = []int{2, 3}
+	// bensonGroupB2C2 are candidates single-routed via b2 and c2.
+	bensonGroupB2C2 = []int{9, 14, 21, 27}
+	// bensonGroupB1C2 are candidates single-routed via b1 and c2.
+	bensonGroupB1C2 = []int{7, 11, 12, 16, 17, 19, 23, 24, 26, 28, 31, 33}
+
+	bensonCandidateSet = func() map[int]bool {
+		m := map[int]bool{5: true, 29: true}
+		for _, g := range [][]int{bensonGroupB1C1, bensonGroupB2C2, bensonGroupB1C2} {
+			for _, i := range g {
+				m[i] = true
+			}
+		}
+		return m
+	}()
+)
+
+func rackName(i int) string { return fmt.Sprintf("Rack%d", i) }
+
+// BensonCandidateRacks returns the names of the 20 racks that are candidates
+// for hosting the audited service, sorted by rack number.
+func BensonCandidateRacks() []string {
+	nums := make([]int, 0, len(bensonCandidateSet))
+	for i := range bensonCandidateSet {
+		nums = append(nums, i)
+	}
+	sort.Ints(nums)
+	out := make([]string, len(nums))
+	for i, n := range nums {
+		out[i] = rackName(n)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package topology
+
+import "fmt"
+
+func fmtSscanf(s, format string, args ...any) (int, error) {
+	return fmt.Sscanf(s, format, args...)
+}

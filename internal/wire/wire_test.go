@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	type payload struct {
+		X int      `json:"x"`
+		S []string `json:"s"`
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Send("hello", payload{X: 7, S: []string{"a", "b"}}) }()
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != "hello" {
+		t.Fatalf("type = %q", msg.Type)
+	}
+	var got payload
+	if err := msg.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.X != 7 || len(got.S) != 2 {
+		t.Errorf("payload = %+v", got)
+	}
+}
+
+func TestExpect(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	go func() { _ = a.Send("pong", map[string]int{"n": 3}) }()
+	var out struct {
+		N int `json:"n"`
+	}
+	if err := b.Expect("pong", &out); err != nil || out.N != 3 {
+		t.Fatalf("Expect: %v, %+v", err, out)
+	}
+	go func() { _ = a.Send("other", nil) }()
+	if err := b.Expect("pong", nil); err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Errorf("type mismatch not detected: %v", err)
+	}
+}
+
+func TestExpectSurfacesPeerError(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	go func() { _ = a.SendError(io.ErrUnexpectedEOF) }()
+	err := b.Expect("whatever", nil)
+	if err == nil || !strings.Contains(err.Error(), "unexpected EOF") {
+		t.Errorf("peer error not surfaced: %v", err)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = a.Send("x", map[string]string{"k": "v"})
+	}()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if a.BytesWritten() == 0 || b.BytesRead() == 0 {
+		t.Error("byte accounting missing")
+	}
+	if a.BytesWritten() != b.BytesRead() {
+		t.Errorf("written %d != read %d", a.BytesWritten(), b.BytesRead())
+	}
+}
+
+func TestRecvRejectsOversized(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+		a.Write(hdr[:])
+		a.Close()
+	}()
+	if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestRecvRejectsGarbage(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 4)
+		a.Write(hdr[:])
+		a.Write([]byte("nope"))
+		a.Close()
+	}()
+	if _, err := conn.Recv(); err == nil {
+		t.Error("garbage frame accepted")
+	}
+}
+
+func TestRecvRejectsMissingType(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		frame := []byte(`{"payload":{}}`)
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+		a.Write(hdr[:])
+		a.Write(frame)
+		a.Close()
+	}()
+	if _, err := conn.Recv(); err == nil {
+		t.Error("untyped message accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port succeeded")
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := NewConn(c)
+		defer conn.Close()
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		_ = conn.Send("echo-"+msg.Type, msg.Payload)
+	}()
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send("ping", map[string]bool{"ok": true}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := conn.Expect("echo-ping", &out); err != nil || !out.OK {
+		t.Fatalf("echo: %v %+v", err, out)
+	}
+}
