@@ -371,6 +371,24 @@ func BenchmarkAblationSamplerShrink(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSamplerWorkers sweeps the sampler's worker count on a
+// fixed workload (0 = one goroutine per CPU). On a single-core host the
+// parallel path degenerates gracefully; on multicore it scales the Fig. 7
+// sampling wall clock down near-linearly.
+func BenchmarkAblationSamplerWorkers(b *testing.B) {
+	g := fig7Workload(b, 8)
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := riskgroup.Sampler{Rounds: 20_000, Bias: 0.97, Shrink: true, Seed: 1, Workers: workers}
+				if _, err := s.Sample(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationPSOPKeySize sweeps the commutative key size.
 func BenchmarkAblationPSOPKeySize(b *testing.B) {
 	sets := benchSets(2, 100)

@@ -1,0 +1,3 @@
+module indaas
+
+go 1.22

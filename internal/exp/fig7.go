@@ -49,6 +49,8 @@ type Fig7Config struct {
 	Bias float64
 	// Seed seeds the samplers.
 	Seed int64
+	// Workers is the sampler parallelism (0 = one goroutine per CPU).
+	Workers int
 }
 
 func (c *Fig7Config) defaults() {
@@ -141,7 +143,7 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 			var fam []riskgroup.RG
 			elapsed, err := timed(func() error {
 				var err error
-				fam, err = riskgroup.Sampler{Rounds: rounds, Bias: cfg.Bias, Shrink: true, Seed: cfg.Seed}.Sample(g)
+				fam, err = riskgroup.Sampler{Rounds: rounds, Bias: cfg.Bias, Shrink: true, Seed: cfg.Seed, Workers: cfg.Workers}.Sample(g)
 				return err
 			})
 			if err != nil {

@@ -3,6 +3,7 @@ package faultgraph
 import (
 	"fmt"
 	"math"
+	mbits "math/bits"
 )
 
 // Assignment maps every node ID to a failure state. Index by NodeID.
@@ -10,6 +11,47 @@ type Assignment []bool
 
 // NewAssignment allocates an all-healthy assignment for graph g.
 func (g *Graph) NewAssignment() Assignment { return make(Assignment, len(g.nodes)) }
+
+// AcquireAssignment returns an all-healthy assignment from the graph's
+// internal pool, avoiding an allocation per evaluation in hot paths. Pair
+// with ReleaseAssignment.
+func (g *Graph) AcquireAssignment() Assignment {
+	if v := g.apool.Get(); v != nil {
+		return v.(Assignment)
+	}
+	return g.NewAssignment()
+}
+
+// ReleaseAssignment clears a and returns it to the pool. The caller must not
+// use a afterwards.
+func (g *Graph) ReleaseAssignment(a Assignment) {
+	for i := range a {
+		a[i] = false
+	}
+	g.apool.Put(a)
+}
+
+// EvaluateBasicRanks returns whether the top event fails when exactly the
+// basic events whose ranks (see BasicRank) are set in words have failed.
+// It is the bitset fast path of Evaluate: no caller-managed Assignment, no
+// allocation (a pooled scratch assignment is used internally).
+func (g *Graph) EvaluateBasicRanks(words []uint64) bool {
+	a := g.AcquireAssignment()
+	for wi, w := range words {
+		base := wi << 6
+		for w != 0 {
+			r := base + mbits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= len(g.basics) {
+				break // stray bits beyond the basic universe are ignored
+			}
+			a[g.basics[r]] = true
+		}
+	}
+	failed := g.Evaluate(a)
+	g.ReleaseAssignment(a)
+	return failed
+}
 
 // Evaluate propagates the failure states of basic events bottom-up through
 // the gates (§4.1.2, failure sampling semantics) and returns whether the top
@@ -40,13 +82,15 @@ func (g *Graph) Evaluate(a Assignment) bool {
 // EvaluateSet returns whether the top event fails when exactly the basic
 // events in failed (by label) have failed. Unknown labels are ignored.
 func (g *Graph) EvaluateSet(failed []string) bool {
-	a := g.NewAssignment()
+	a := g.AcquireAssignment()
 	for _, label := range failed {
 		if id, ok := g.byLabel[label]; ok && g.nodes[id].Gate == Basic {
 			a[id] = true
 		}
 	}
-	return g.Evaluate(a)
+	res := g.Evaluate(a)
+	g.ReleaseAssignment(a)
+	return res
 }
 
 // TopProbExact computes the exact failure probability of the top event by

@@ -1,0 +1,125 @@
+package faultgraph
+
+// Evaluator is a mutable failure-propagation engine over one Graph, built
+// for workloads that evaluate many closely related assignments — above all
+// the sampler's shrink loop, which flips one basic event at a time and asks
+// whether the top event still fails.
+//
+// It keeps, per gate, the count of currently failed children. A full
+// bottom-up pass (EvalBasics) costs O(edges) like Graph.Evaluate but runs on
+// flat int32 arrays; a single-event flip (SetBasic) propagates counter
+// deltas only to the ancestors whose state actually changes, which on
+// fan-out-heavy graphs is a tiny fraction of the graph. Evaluators are not
+// safe for concurrent use; give each goroutine its own.
+type Evaluator struct {
+	g *Graph
+	// Flat mirrors of the graph, indexed by NodeID.
+	k      []int32 // gate threshold (K); 0 for basics
+	state  []bool  // current failure state
+	cnt    []int32 // failed-children count, gates only
+	pStart []int32 // CSR offsets into parents
+	pList  []int32 // concatenated parent IDs (all parents are gates)
+	gates  []int32 // non-basic nodes, children-before-parents order
+	cStart []int32 // CSR offsets into children, aligned with gates
+	cList  []int32 // concatenated child IDs of gates
+	stack  []int32 // scratch for SetBasic propagation
+}
+
+// NewEvaluator builds an Evaluator for g with every event healthy.
+func (g *Graph) NewEvaluator() *Evaluator {
+	n := len(g.nodes)
+	e := &Evaluator{
+		g:      g,
+		k:      make([]int32, n),
+		state:  make([]bool, n),
+		cnt:    make([]int32, n),
+		pStart: make([]int32, n+1),
+	}
+	for i := range g.nodes {
+		nd := &g.nodes[i]
+		e.k[i] = int32(nd.K)
+		for _, c := range nd.Children {
+			e.pStart[c+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.pStart[i+1] += e.pStart[i]
+	}
+	fill := make([]int32, n)
+	e.pList = make([]int32, e.pStart[n])
+	for i := range g.nodes {
+		for _, c := range g.nodes[i].Children {
+			e.pList[e.pStart[c]+fill[c]] = int32(i)
+			fill[c]++
+		}
+	}
+	for _, id := range g.topo {
+		nd := &g.nodes[id]
+		if nd.Gate == Basic {
+			continue
+		}
+		e.gates = append(e.gates, int32(id))
+		e.cStart = append(e.cStart, int32(len(e.cList)))
+		for _, c := range nd.Children {
+			e.cList = append(e.cList, int32(c))
+		}
+	}
+	e.cStart = append(e.cStart, int32(len(e.cList)))
+	return e
+}
+
+// EvalBasics installs the basic-event failure states of a (gate entries are
+// ignored) and recomputes every gate bottom-up. It returns whether the top
+// event fails. Use it once per fresh assignment, then SetBasic for
+// incremental edits.
+func (e *Evaluator) EvalBasics(a Assignment) bool {
+	for _, id := range e.g.basics {
+		e.state[id] = a[id]
+	}
+	return e.evalGates()
+}
+
+// evalGates recomputes cnt and state for every gate from the current basic
+// states, bottom-up.
+func (e *Evaluator) evalGates() bool {
+	for gi, id := range e.gates {
+		failed := int32(0)
+		for _, c := range e.cList[e.cStart[gi]:e.cStart[gi+1]] {
+			if e.state[c] {
+				failed++
+			}
+		}
+		e.cnt[id] = failed
+		e.state[id] = failed >= e.k[id]
+	}
+	return e.state[e.g.top]
+}
+
+// SetBasic flips one basic event to the given failure state and propagates
+// the change to the (transitively) affected gates only.
+func (e *Evaluator) SetBasic(id NodeID, failed bool) {
+	if e.state[id] == failed {
+		return
+	}
+	e.state[id] = failed
+	e.stack = append(e.stack[:0], int32(id))
+	for len(e.stack) > 0 {
+		c := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		var delta int32 = 1
+		if !e.state[c] {
+			delta = -1
+		}
+		for _, p := range e.pList[e.pStart[c]:e.pStart[c+1]] {
+			e.cnt[p] += delta
+			ps := e.cnt[p] >= e.k[p]
+			if ps != e.state[p] {
+				e.state[p] = ps
+				e.stack = append(e.stack, p)
+			}
+		}
+	}
+}
+
+// TopFailed reports the current state of the top event.
+func (e *Evaluator) TopFailed() bool { return e.state[e.g.top] }

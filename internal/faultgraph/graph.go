@@ -17,6 +17,7 @@ package faultgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Gate is the logic connecting an event to its child events.
@@ -78,6 +79,9 @@ type Graph struct {
 	byLabel map[string]NodeID
 	top     NodeID
 	topo    []NodeID // children-before-parents order
+	basics  []NodeID // basic events in ascending ID order
+	rank    []int32  // NodeID → dense basic-event rank, -1 for gates
+	apool   sync.Pool
 }
 
 // Top returns the top event's ID.
@@ -98,14 +102,20 @@ func (g *Graph) Lookup(label string) (NodeID, bool) {
 
 // BasicEvents returns the IDs of all basic events in ascending order.
 func (g *Graph) BasicEvents() []NodeID {
-	var out []NodeID
-	for i := range g.nodes {
-		if g.nodes[i].Gate == Basic {
-			out = append(out, NodeID(i))
-		}
-	}
-	return out
+	return append([]NodeID(nil), g.basics...)
 }
+
+// NumBasics returns the number of basic events.
+func (g *Graph) NumBasics() int { return len(g.basics) }
+
+// BasicRank returns the dense rank of a basic event: basics are numbered
+// 0..NumBasics()-1 in ascending ID order, giving bitset representations of
+// event sets a compact universe. Returns -1 for gate events.
+func (g *Graph) BasicRank(id NodeID) int { return int(g.rank[id]) }
+
+// BasicAt returns the basic event with the given rank. Because ranks follow
+// ascending ID order, iterating ranks 0..NumBasics()-1 yields IDs ascending.
+func (g *Graph) BasicAt(rank int) NodeID { return g.basics[rank] }
 
 // TopoOrder returns every event reachable from the top in an order where
 // children precede parents. The slice is shared; do not modify.
@@ -281,6 +291,15 @@ func (b *Builder) Build() (*Graph, error) {
 	g.topo = topoFrom(g, g.top)
 	if g.nodes[g.top].Gate == Basic {
 		return nil, fmt.Errorf("faultgraph: top event %q is a basic event", g.nodes[g.top].Label)
+	}
+	g.rank = make([]int32, len(g.nodes))
+	for i := range g.nodes {
+		if g.nodes[i].Gate == Basic {
+			g.rank[i] = int32(len(g.basics))
+			g.basics = append(g.basics, NodeID(i))
+		} else {
+			g.rank[i] = -1
+		}
 	}
 	return g, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"indaas/internal/bitset"
 	"indaas/internal/faultgraph"
 	"indaas/internal/riskgroup"
 )
@@ -33,18 +34,18 @@ func karpLuby(g *faultgraph.Graph, fam []riskgroup.RG, samples int, seed int64) 
 	for i, id := range events {
 		probs[i] = g.Node(id).Prob
 	}
-	clauses := make([][]int, len(fam))
-	// clausesByEvent lets N(x) be computed by scanning only clauses that
-	// could be satisfied; for dense families this is still O(Σ|C|) worst
-	// case, so we simply scan all clauses with early exit per clause.
+	// Clauses as dense bitsets over the involved events: "clause satisfied
+	// by x" becomes a word-wise subset test, so N(x) costs a few words per
+	// clause instead of a member-by-member scan.
+	clauses := make([]bitset.Set, len(fam))
 	weights := make([]float64, len(fam))
 	cum := make([]float64, len(fam))
 	total := 0.0
 	for i, rg := range fam {
-		c := make([]int, len(rg))
+		c := bitset.New(len(events))
 		w := 1.0
-		for j, id := range rg {
-			c[j] = index[id]
+		for _, id := range rg {
+			c.Set(index[id])
 			w *= g.Node(id).Prob
 		}
 		clauses[i] = c
@@ -56,7 +57,7 @@ func karpLuby(g *faultgraph.Graph, fam []riskgroup.RG, samples int, seed int64) 
 		return 0
 	}
 	rng := rand.New(rand.NewSource(seed))
-	x := make([]bool, len(events))
+	x := bitset.New(len(events))
 	sum := 0.0
 	for s := 0; s < samples; s++ {
 		// Draw clause i ∝ w_i.
@@ -66,23 +67,17 @@ func karpLuby(g *faultgraph.Graph, fam []riskgroup.RG, samples int, seed int64) 
 			i = len(cum) - 1
 		}
 		// Draw assignment conditioned on clause i satisfied.
-		for e := range x {
-			x[e] = rng.Float64() < probs[e]
+		x.Reset()
+		for e := range probs {
+			if rng.Float64() < probs[e] {
+				x.Set(e)
+			}
 		}
-		for _, e := range clauses[i] {
-			x[e] = true
-		}
+		x.Or(clauses[i])
 		// Count satisfied clauses.
 		n := 0
 		for _, c := range clauses {
-			sat := true
-			for _, e := range c {
-				if !x[e] {
-					sat = false
-					break
-				}
-			}
-			if sat {
+			if c.SubsetOf(x) {
 				n++
 			}
 		}

@@ -2,6 +2,7 @@ package riskgroup
 
 import (
 	"fmt"
+	"sort"
 
 	"indaas/internal/faultgraph"
 )
@@ -30,31 +31,36 @@ type MinimalOptions struct {
 // gates union the products over every K-subset of children. Families are
 // minimized by absorption at every node.
 //
-// The result is sorted by size, then lexicographically.
+// Internally every family is a dense bitset over basic-event ranks, so set
+// union is a word-wise OR, absorption a word-wise subset test, and dedup a
+// word hash — the representation that keeps large fat-tree products
+// tractable. The result is sorted by size, then lexicographically.
 func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
-	families := make([][]RG, g.Len())
-	postings := make(map[faultgraph.NodeID][]int)
+	ctx := newMinCtx(g.NumBasics())
+	families := make([][]brg, g.Len())
 	for _, id := range g.TopoOrder() {
 		n := g.Node(id)
-		var fam []RG
+		var fam []brg
 		switch n.Gate {
 		case faultgraph.Basic:
-			fam = []RG{{id}}
+			w := ctx.alloc()
+			w.Set(g.BasicRank(id))
+			fam = []brg{{w: w, n: 1}}
 		case faultgraph.OR:
 			total := 0
 			for _, c := range n.Children {
 				total += len(families[c])
 			}
-			fam = make([]RG, 0, total)
+			fam = make([]brg, 0, total)
 			for _, c := range n.Children {
 				fam = append(fam, families[c]...)
 			}
 			if !opts.FinalMinimizeOnly {
-				fam = minimize(fam, postings)
+				fam = ctx.minimize(fam)
 			}
 		case faultgraph.AND:
 			var err error
-			fam, err = productFamilies(childFamilies(families, n.Children), opts, postings)
+			fam, err = productFamilies(ctx, childFamilies(families, n.Children), opts)
 			if err != nil {
 				return nil, fmt.Errorf("riskgroup: at event %q: %w", n.Label, err)
 			}
@@ -62,22 +68,22 @@ func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
 			// Union of products over all K-subsets of children.
 			children := n.Children
 			subset := make([]int, n.K)
-			var all []RG
+			var all []brg
 			var rec func(start, depth int) error
 			rec = func(start, depth int) error {
 				if depth == n.K {
-					chosen := make([][]RG, n.K)
+					chosen := make([][]brg, n.K)
 					for i, ci := range subset {
 						chosen[i] = families[children[ci]]
 					}
-					prod, err := productFamilies(chosen, opts, postings)
+					prod, err := productFamilies(ctx, chosen, opts)
 					if err != nil {
 						return err
 					}
-					all = append(all, prod...)
-					if opts.MaxSets > 0 && len(all) > opts.MaxSets {
-						return fmt.Errorf("family exceeds MaxSets=%d", opts.MaxSets)
+					if opts.MaxSets > 0 && len(all)+len(prod) > opts.MaxSets {
+						return fmt.Errorf("family of %d sets exceeds MaxSets=%d", len(all)+len(prod), opts.MaxSets)
 					}
+					all = append(all, prod...)
 					return nil
 				}
 				for i := start; i <= len(children)-(n.K-depth); i++ {
@@ -92,7 +98,7 @@ func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
 				return nil, fmt.Errorf("riskgroup: at event %q: %w", n.Label, err)
 			}
 			if !opts.FinalMinimizeOnly {
-				all = minimize(all, postings)
+				all = ctx.minimize(all)
 			}
 			fam = all
 		}
@@ -101,14 +107,13 @@ func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
 		}
 		families[id] = fam
 	}
-	top := families[g.Top()]
-	top = minimize(top, postings) // idempotent when per-node minimization ran
-	sortFamily(top)
-	return top, nil
+	top := ctx.minimize(families[g.Top()]) // idempotent when per-node minimization ran
+	sortBrgs(top)
+	return graphIndexer{g: g}.toFamily(top), nil
 }
 
-func childFamilies(families [][]RG, children []faultgraph.NodeID) [][]RG {
-	out := make([][]RG, len(children))
+func childFamilies(families [][]brg, children []faultgraph.NodeID) [][]brg {
+	out := make([][]brg, len(children))
 	for i, c := range children {
 		out[i] = families[c]
 	}
@@ -117,7 +122,7 @@ func childFamilies(families [][]RG, children []faultgraph.NodeID) [][]RG {
 
 // productFamilies folds the cartesian product over the child families,
 // unioning one cut set from each child and minimizing as it goes.
-func productFamilies(fams [][]RG, opts MinimalOptions, postings map[faultgraph.NodeID][]int) ([]RG, error) {
+func productFamilies(ctx *minCtx, fams [][]brg, opts MinimalOptions) ([]brg, error) {
 	if len(fams) == 0 {
 		return nil, nil
 	}
@@ -126,37 +131,15 @@ func productFamilies(fams [][]RG, opts MinimalOptions, postings map[faultgraph.N
 	for i := range order {
 		order[i] = i
 	}
-	for i := range order {
-		for j := i + 1; j < len(order); j++ {
-			if len(fams[order[j]]) < len(fams[order[i]]) {
-				order[i], order[j] = order[j], order[i]
-			}
-		}
-	}
+	sort.Slice(order, func(i, j int) bool { return len(fams[order[i]]) < len(fams[order[j]]) })
 	acc := fams[order[0]]
 	for _, oi := range order[1:] {
-		next := fams[oi]
-		var out []RG
-		seen := make(map[string]struct{}, len(acc)*min(len(next), 8))
-		for _, a := range acc {
-			for _, b := range next {
-				u := mergeUnion(a, b)
-				if opts.MaxSize > 0 && len(u) > opts.MaxSize {
-					continue
-				}
-				k := u.key()
-				if _, ok := seen[k]; ok {
-					continue
-				}
-				seen[k] = struct{}{}
-				out = append(out, u)
-				if opts.MaxSets > 0 && len(out) > 4*opts.MaxSets {
-					return nil, fmt.Errorf("product exceeds 4×MaxSets=%d before minimization", 4*opts.MaxSets)
-				}
-			}
+		out, err := ctx.product(acc, fams[oi], opts)
+		if err != nil {
+			return nil, err
 		}
 		if !opts.FinalMinimizeOnly {
-			out = minimize(out, postings)
+			out = ctx.minimize(out)
 		}
 		if opts.MaxSets > 0 && len(out) > opts.MaxSets {
 			return nil, fmt.Errorf("product family of %d sets exceeds MaxSets=%d", len(out), opts.MaxSets)
@@ -166,13 +149,44 @@ func productFamilies(fams [][]RG, opts MinimalOptions, postings map[faultgraph.N
 	return acc, nil
 }
 
+// product unions every pair across two families, deduplicating by word hash
+// as it goes. New sets are carved from the context arena; the scratch set
+// holds each candidate union so rejected pairs allocate nothing.
+func (c *minCtx) product(a, b []brg, opts MinimalOptions) ([]brg, error) {
+	c.dedup.reset(len(a))
+	out := make([]brg, 0, len(a))
+	c.probe = c.scratch
+	eq := func(i int32) bool { return out[i].w.Equal(c.probe) }
+	hashOf := func(i int32) uint64 { return out[i].w.Hash() }
+	for _, x := range a {
+		for _, y := range b {
+			c.scratch.OrOf(x.w, y.w)
+			n := c.scratch.Count()
+			if opts.MaxSize > 0 && n > opts.MaxSize {
+				continue
+			}
+			if c.dedup.lookupOrInsert(c.scratch.Hash(), int32(len(out)), eq, hashOf) {
+				continue
+			}
+			w := c.alloc()
+			w.CopyFrom(c.scratch)
+			out = append(out, brg{w: w, n: n})
+			if opts.MaxSets > 0 && len(out) > 4*opts.MaxSets {
+				return nil, fmt.Errorf("product exceeds 4×MaxSets=%d before minimization", 4*opts.MaxSets)
+			}
+		}
+	}
+	return out, nil
+}
+
 // BruteForceMinimalRGs enumerates every subset of basic events up to
 // maxSize and keeps the minimal failing ones. Exponential; used to validate
 // MinimalRGs in tests on small graphs.
 func BruteForceMinimalRGs(g *faultgraph.Graph, maxSize int) []RG {
 	basics := g.BasicEvents()
 	var all []RG
-	a := g.NewAssignment()
+	a := g.AcquireAssignment()
+	defer g.ReleaseAssignment(a)
 	var rec func(start int, cur RG)
 	rec = func(start int, cur RG) {
 		if len(cur) > 0 {

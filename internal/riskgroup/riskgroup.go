@@ -31,12 +31,6 @@ func (rg RG) key() string {
 	return string(buf)
 }
 
-// contains reports whether sorted rg contains id.
-func (rg RG) contains(id faultgraph.NodeID) bool {
-	i := sort.Search(len(rg), func(i int) bool { return rg[i] >= id })
-	return i < len(rg) && rg[i] == id
-}
-
 // subsetOf reports whether rg ⊆ other, both sorted.
 func (rg RG) subsetOf(other RG) bool {
 	if len(rg) > len(other) {
@@ -53,29 +47,6 @@ func (rg RG) subsetOf(other RG) bool {
 		i++
 	}
 	return true
-}
-
-// mergeUnion returns the sorted union of two sorted RGs.
-func mergeUnion(a, b RG) RG {
-	out := make(RG, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
 }
 
 // Labels maps an RG to its sorted component labels.
@@ -110,11 +81,13 @@ func FromLabels(g *faultgraph.Graph, labels ...string) (RG, error) {
 
 // IsRG verifies by evaluation that rg actually fails the top event.
 func IsRG(g *faultgraph.Graph, rg RG) bool {
-	a := g.NewAssignment()
+	a := g.AcquireAssignment()
 	for _, id := range rg {
 		a[id] = true
 	}
-	return g.Evaluate(a)
+	res := g.Evaluate(a)
+	g.ReleaseAssignment(a)
+	return res
 }
 
 // IsMinimalRG verifies that rg is an RG and that removing any single member
@@ -123,7 +96,8 @@ func IsMinimalRG(g *faultgraph.Graph, rg RG) bool {
 	if !IsRG(g, rg) {
 		return false
 	}
-	a := g.NewAssignment()
+	a := g.AcquireAssignment()
+	defer g.ReleaseAssignment(a)
 	for _, id := range rg {
 		a[id] = true
 	}
@@ -140,81 +114,26 @@ func IsMinimalRG(g *faultgraph.Graph, rg RG) bool {
 // Minimize removes duplicates and non-minimal sets from a family of RGs:
 // any RG that is a superset of another RG in the family is dropped
 // (absorption). The result is sorted by size, then lexicographically.
+//
+// The work happens on dense bitsets (see bitfamily.go); the member IDs
+// themselves index the bit universe, so no graph is needed.
 func Minimize(sets []RG) []RG {
-	return minimize(sets, nil)
+	return minimizeFamily(graphIndexer{}, sets)
 }
 
-// minimize is the internal absorption routine. If scratch postings map is
-// provided it is reused (cleared) to reduce allocation in hot paths.
-func minimize(sets []RG, postings map[faultgraph.NodeID][]int) []RG {
+// minimizeFamily is the shared entry behind Minimize: with a graph-backed
+// indexer the bit universe is the compact basic-event rank space; without
+// one it falls back to raw node IDs.
+func minimizeFamily(ix graphIndexer, sets []RG) []RG {
 	if len(sets) == 0 {
 		return nil
 	}
-	// Dedup identical sets first.
-	seen := make(map[string]struct{}, len(sets))
-	uniq := make([]RG, 0, len(sets))
-	for _, s := range sets {
-		k := s.key()
-		if _, ok := seen[k]; ok {
-			continue
-		}
-		seen[k] = struct{}{}
-		uniq = append(uniq, s)
+	ctx := newMinCtx(ix.width(sets))
+	fam := make([]brg, len(sets))
+	for i, s := range sets {
+		fam[i] = ctx.toBrg(ix, s)
 	}
-	sortFamily(uniq)
-	if postings == nil {
-		postings = make(map[faultgraph.NodeID][]int)
-	} else {
-		for k := range postings {
-			delete(postings, k)
-		}
-	}
-	kept := make([]RG, 0, len(uniq))
-	counter := make(map[int]int)
-	// Only strictly smaller sets can absorb a candidate (equal-size
-	// absorbers would be duplicates, removed above), so postings are
-	// published one size class at a time: candidates within a class skip
-	// each other entirely — a large win on product-shaped families where
-	// most sets share a size.
-	classStart := 0 // first kept index not yet in postings
-	prevSize := -1
-	publish := func(upto int) {
-		for i := classStart; i < upto; i++ {
-			for _, e := range kept[i] {
-				postings[e] = append(postings[e], i)
-			}
-		}
-		classStart = upto
-	}
-	for _, s := range uniq {
-		if len(s) != prevSize {
-			publish(len(kept))
-			prevSize = len(s)
-		}
-		absorbed := false
-		// A kept set t absorbs s iff t ⊆ s. Count, per kept set, how many of
-		// its members appear in s; t ⊆ s iff the count reaches len(t).
-		for k := range counter {
-			delete(counter, k)
-		}
-		for _, e := range s {
-			for _, ti := range postings[e] {
-				counter[ti]++
-				if counter[ti] == len(kept[ti]) {
-					absorbed = true
-					break
-				}
-			}
-			if absorbed {
-				break
-			}
-		}
-		if absorbed {
-			continue
-		}
-		kept = append(kept, s)
-	}
-	return kept
+	return ix.toFamily(ctx.minimize(fam))
 }
 
 // sortFamily orders RGs by size then lexicographically by member IDs.

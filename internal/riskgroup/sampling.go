@@ -1,8 +1,11 @@
 package riskgroup
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"indaas/internal/faultgraph"
 )
@@ -17,6 +20,11 @@ import (
 // its RGs are minimal. With Shrink enabled each failing sample is greedily
 // reduced to an irreducible — hence minimal — RG before aggregation, which
 // is how "% of minimal RGs detected" (Fig. 7) is measured.
+//
+// Rounds are partitioned across Workers goroutines, each with its own
+// generator and reusable scratch state, so sampling scales with cores while
+// remaining reproducible: the detected family is a deterministic function of
+// (Seed, Workers) on any machine.
 type Sampler struct {
 	// Rounds is the number of sampling rounds (paper: 10³–10⁷).
 	Rounds int
@@ -28,8 +36,21 @@ type Sampler struct {
 	UseEventProbs bool
 	// Shrink greedily minimizes each failing sample.
 	Shrink bool
-	// Seed seeds the random generator; 0 means a fixed default.
+	// Seed seeds the random generators. Seed==0 means the fixed default
+	// seed 1 — the zero value samples reproducibly, it does not randomize.
+	// Worker w (0-based) draws from its own generator seeded Seed+w; note
+	// that sweeping nearby seeds with Workers>1 therefore reuses worker
+	// streams across runs (run Seed and Seed+1 share Workers−1 generator
+	// seeds), so use well-separated seeds when runs must be statistically
+	// independent.
 	Seed int64
+	// Workers is the number of concurrent sampling goroutines. 0 (or any
+	// negative value) means runtime.GOMAXPROCS(0) — fastest, but the
+	// detected family then depends on the host's CPU count; fix Workers
+	// explicitly for output that reproduces across machines. Workers==1
+	// retains the single-threaded path, whose output is identical to the
+	// historical sequential sampler for a given Seed.
+	Workers int
 }
 
 // Sample runs the sampler on g and returns the deduplicated family of
@@ -47,67 +68,138 @@ func (s Sampler) Sample(g *faultgraph.Graph) ([]RG, error) {
 		return nil, fmt.Errorf("riskgroup: Sampler.Bias %v out of [0,1]", bias)
 	}
 	basics := g.BasicEvents()
-	if s.UseEventProbs {
-		for _, id := range basics {
-			if !g.Node(id).HasProb() {
-				return nil, fmt.Errorf("riskgroup: UseEventProbs set but event %q has no probability", g.Node(id).Label)
+	probs := make([]float64, len(basics))
+	for i, id := range basics {
+		if s.UseEventProbs {
+			n := g.Node(id)
+			if !n.HasProb() {
+				return nil, fmt.Errorf("riskgroup: UseEventProbs set but event %q has no probability", n.Label)
 			}
+			probs[i] = n.Prob
+		} else {
+			probs[i] = bias
 		}
 	}
 	seed := s.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
-	a := g.NewAssignment()
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.Rounds {
+		workers = s.Rounds
+	}
+
+	// Worker w samples ceil((Rounds−w)/workers) rounds from generator
+	// Seed+w: the rounds a striped n≡w (mod workers) split would assign it.
+	// Growing Rounds with (Seed, Workers) fixed only extends each worker's
+	// stream, so detected families grow monotonically with the round count,
+	// matching the sequential sampler's behavior on Fig. 7 curves.
+	results := make([][]RG, workers)
+	if workers == 1 {
+		results[0] = sampleRounds(g, basics, probs, seed, s.Rounds, s.Shrink)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			share := (s.Rounds - w + workers - 1) / workers
+			if share == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w, share int) {
+				defer wg.Done()
+				results[w] = sampleRounds(g, basics, probs, seed+int64(w), share, s.Shrink)
+			}(w, share)
+		}
+		wg.Wait()
+	}
+
+	// Merge in worker order, deduplicating across workers; the final
+	// canonical sort makes the outcome independent of scheduling anyway.
 	seen := make(map[string]struct{})
 	var out []RG
-	for round := 0; round < s.Rounds; round++ {
-		var failed RG
-		for _, id := range basics {
-			p := bias
-			if s.UseEventProbs {
-				p = g.Node(id).Prob
+	for _, part := range results {
+		for _, rg := range part {
+			k := rg.key()
+			if _, ok := seen[k]; ok {
+				continue
 			}
-			f := rng.Float64() < p
+			seen[k] = struct{}{}
+			out = append(out, rg)
+		}
+	}
+	if s.Shrink {
+		// Graph-aware minimize: bitsets over basic ranks, not raw node IDs.
+		out = minimizeFamily(graphIndexer{g: g}, out)
+	}
+	sortFamily(out)
+	return out, nil
+}
+
+// sampleRounds is one worker's sampling loop. All per-round state — the
+// assignment, the failed/shuffle/shrink buffers, the dedup key — is reused
+// across rounds; the only allocations are one copy per unique detected RG.
+func sampleRounds(g *faultgraph.Graph, basics []faultgraph.NodeID, probs []float64, seed int64, rounds int, shrink bool) []RG {
+	rng := rand.New(rand.NewSource(seed))
+	ev := g.NewEvaluator()
+	a := g.AcquireAssignment()
+	defer g.ReleaseAssignment(a)
+	failed := make(RG, 0, len(basics))
+	shuffled := make(RG, 0, len(basics))
+	kept := make(RG, 0, len(basics))
+	keybuf := make([]byte, 0, 4*len(basics))
+	seen := make(map[string]struct{})
+	var out []RG
+	for round := 0; round < rounds; round++ {
+		failed = failed[:0]
+		for i, id := range basics {
+			f := rng.Float64() < probs[i]
 			a[id] = f
 			if f {
 				failed = append(failed, id)
 			}
 		}
-		if len(failed) == 0 || !g.Evaluate(a) {
+		if len(failed) == 0 || !ev.EvalBasics(a) {
 			continue
 		}
 		rg := failed
-		if s.Shrink {
+		if shrink {
 			// Shrink in random order: a fixed removal order would collapse
 			// most samples onto the same few minimal RGs and cripple the
-			// detection rate on graphs with many cuts (Fig. 7).
-			shuffled := append(RG(nil), failed...)
+			// detection rate on graphs with many cuts (Fig. 7). Removal
+			// trials flip one event at a time, so the incremental evaluator
+			// answers each in time proportional to the affected ancestors
+			// instead of re-walking the whole graph.
+			shuffled = append(shuffled[:0], failed...)
 			rng.Shuffle(len(shuffled), func(i, j int) {
 				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 			})
-			rg = shrink(g, a, shuffled)
-			sortRG(rg)
-			// shrink leaves a dirty; reset the survivors' flags after copy.
-			for _, id := range failed {
-				a[id] = false
+			kept = kept[:0]
+			for _, id := range shuffled {
+				ev.SetBasic(id, false)
+				if !ev.TopFailed() {
+					ev.SetBasic(id, true) // necessary: keep it
+					kept = append(kept, id)
+				}
 			}
+			rg = kept
+			sortRG(rg)
+		}
+		keybuf = keybuf[:0]
+		for _, id := range rg {
+			keybuf = binary.LittleEndian.AppendUint32(keybuf, uint32(id))
+		}
+		if _, ok := seen[string(keybuf)]; ok { // no allocation: key lookup only
+			continue
 		}
 		cp := make(RG, len(rg))
 		copy(cp, rg)
-		k := cp.key()
-		if _, ok := seen[k]; ok {
-			continue
-		}
-		seen[k] = struct{}{}
+		seen[string(keybuf)] = struct{}{}
 		out = append(out, cp)
 	}
-	if s.Shrink {
-		out = Minimize(out)
-	}
-	sortFamily(out)
-	return out, nil
+	return out
 }
 
 // sortRG orders an RG's members ascending (shrink output follows the
@@ -120,29 +212,17 @@ func sortRG(rg RG) {
 	}
 }
 
-// shrink greedily removes events from a failing assignment while the top
-// event keeps failing, yielding an irreducible (minimal) RG contained in the
-// sample. a must reflect exactly the failures in failed.
-func shrink(g *faultgraph.Graph, a faultgraph.Assignment, failed RG) RG {
-	kept := make(RG, 0, len(failed))
-	remaining := append(RG(nil), failed...)
-	for i := 0; i < len(remaining); i++ {
-		id := remaining[i]
-		a[id] = false
-		if !g.Evaluate(a) {
-			a[id] = true // necessary: keep it
-			kept = append(kept, id)
-		}
-	}
-	return kept
-}
-
 // DetectionRate reports what fraction of the reference minimal RGs appear in
 // the detected family (Fig. 7's y-axis). Both families should be families of
-// minimal RGs (use Shrink when sampling).
+// minimal RGs (use Shrink when sampling). Nil or empty families are fine:
+// an empty reference counts as fully detected, an empty detected family
+// scores zero without allocating.
 func DetectionRate(reference, detected []RG) float64 {
 	if len(reference) == 0 {
 		return 1
+	}
+	if len(detected) == 0 {
+		return 0
 	}
 	idx := make(map[string]struct{}, len(detected))
 	for _, rg := range detected {

@@ -197,6 +197,9 @@ type Options struct {
 	Rounds int
 	// Seed seeds the sampler (default 1).
 	Seed int64
+	// Workers is the sampler's parallelism: 0 means one goroutine per CPU,
+	// 1 forces the sequential path (see riskgroup.Sampler.Workers).
+	Workers int
 	// RankMode picks the ranking algorithm.
 	RankMode RankMode
 	// ScoreTopN is the n of the §4.1.4 independence score (default: all).
@@ -220,7 +223,7 @@ func Audit(g *faultgraph.Graph, spec GraphSpec, opts Options) (*report.Deploymen
 		if rounds == 0 {
 			rounds = 100_000
 		}
-		fam, err = riskgroup.Sampler{Rounds: rounds, Shrink: true, Seed: opts.Seed}.Sample(g)
+		fam, err = riskgroup.Sampler{Rounds: rounds, Shrink: true, Seed: opts.Seed, Workers: opts.Workers}.Sample(g)
 	default:
 		return nil, fmt.Errorf("sia: unknown algorithm %v", opts.Algorithm)
 	}
