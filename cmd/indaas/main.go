@@ -22,6 +22,11 @@
 //	indaas psop -proxies host1:7002,host2:7002[,...]
 //	    Supervise one P-SOP round across running proxies and print the
 //	    Jaccard similarity.
+//
+//	indaas serve -listen :7080 [-deps deps.xml]
+//	    Run the always-on audit service: an HTTP/JSON API that queues audit
+//	    jobs on a bounded worker pool and deduplicates identical audits
+//	    through a content-addressed result cache (see internal/auditd).
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 		err = cmdProxy(os.Args[2:])
 	case "psop":
 		err = cmdPSOP(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -74,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve> [flags]
 run "indaas <subcommand> -h" for the subcommand's flags`)
 }
 

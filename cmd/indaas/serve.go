@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"indaas/internal/auditd"
+	"indaas/internal/depdb"
+)
+
+// cmdServe runs the always-on audit service (§5 as a daemon): an HTTP/JSON
+// API over a bounded worker pool with a content-addressed result cache.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7080", "listen address")
+	depsPath := fs.String("deps", "", "Table 1 XML file to preload (optional; requests may inline records)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	queue := fs.Int("queue", 0, "max queued computations (0 = default 128)")
+	cacheEntries := fs.Int("cache", 0, "result cache entries (0 = default 512, negative disables)")
+	timeout := fs.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var db *depdb.DB
+	if *depsPath != "" {
+		var err error
+		if db, err = loadDepsXML(*depsPath); err != nil {
+			return err
+		}
+	}
+	svc := auditd.New(auditd.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DB:             db,
+		DefaultTimeout: *timeout,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	if db != nil {
+		fmt.Printf("indaas audit service on http://%s (%d preloaded records)\n", ln.Addr(), db.Len())
+	} else {
+		fmt.Printf("indaas audit service on http://%s\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+	fmt.Println("indaas: shutting down; draining in-flight jobs")
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	return svc.Shutdown(ctx)
+}

@@ -1,0 +1,133 @@
+// Auditservice demonstrates the always-on audit daemon (§5 as a service):
+// it starts an in-process `indaas serve` equivalent on a loopback port,
+// drives 48 concurrent submissions from many simulated clients — several of
+// them identical, so the content-addressed cache and in-flight coalescing
+// collapse them onto a handful of computations — cancels a runaway job via
+// the API, and prints the service metrics at the end.
+//
+//	go run ./examples/auditservice
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"indaas/internal/auditd"
+	"indaas/internal/deps"
+)
+
+func records() []auditd.RecordWire {
+	return auditd.WireRecords([]deps.Record{
+		deps.NewNetwork("s1", "Internet", "ToR1", "Agg1", "Core1"),
+		deps.NewNetwork("s1", "Internet", "ToR1", "Agg2", "Core2"),
+		deps.NewNetwork("s2", "Internet", "ToR1", "Agg1", "Core1"),
+		deps.NewNetwork("s2", "Internet", "ToR1", "Agg2", "Core2"),
+		deps.NewNetwork("s3", "Internet", "ToR2", "Agg2", "Core2"),
+		deps.NewHardware("s1", "Disk", "batch-7-SED900"),
+		deps.NewHardware("s2", "Disk", "batch-7-SED900"),
+		deps.NewHardware("s3", "Disk", "S3-SED900"),
+		deps.NewSoftware("nginx", "s1", "libc6", "libssl3"),
+		deps.NewSoftware("nginx", "s2", "libc6", "libssl3"),
+		deps.NewSoftware("httpd", "s3", "libc6", "libapr1"),
+	})
+}
+
+func main() {
+	svc := auditd.New(auditd.Config{Workers: 4, QueueDepth: 64})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	fmt.Printf("audit service on %s (4 workers)\n", ts.URL)
+
+	client := auditd.NewClient(ts.URL, http.DefaultClient)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// 48 concurrent clients, but only 3 distinct audits between them: the
+	// deduplication machinery should run at most 3 computations.
+	deployments := [][]auditd.DeploymentWire{
+		{{Name: "s1+s2 (shared ToR)", Servers: []string{"s1", "s2"}}},
+		{{Name: "s1+s3 (independent)", Servers: []string{"s1", "s3"}}},
+		{
+			{Name: "s1+s2", Servers: []string{"s1", "s2"}},
+			{Name: "s1+s3", Servers: []string{"s1", "s3"}},
+			{Name: "s2+s3", Servers: []string{"s2", "s3"}},
+		},
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ids []string
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := client.Submit(ctx, &auditd.SubmitRequest{
+				Title:       fmt.Sprintf("client %02d", i),
+				Records:     records(),
+				Deployments: deployments[i%len(deployments)],
+				FailureProb: 0.01,
+			})
+			if err != nil {
+				log.Printf("client %02d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, st.ID)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	for _, id := range ids {
+		st, err := client.WaitDone(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.State != auditd.StateDone {
+			log.Fatalf("job %s finished %s: %s", id, st.State, st.Error)
+		}
+	}
+	fmt.Printf("48 concurrent submissions completed\n")
+
+	// Fetch one report and show the ranking the clients care about.
+	last, err := client.Report(ctx, ids[len(ids)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := last.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report %q ranks %q most independent (Pr(outage)=%.6f, %d unexpected RGs)\n",
+		last.Title, best.Deployment, best.FailureProb, best.Unexpected)
+
+	// Cancel a runaway job through the API: 2 billion sampling rounds
+	// could never finish, but the DELETE frees its worker immediately.
+	runaway, err := client.Submit(ctx, &auditd.SubmitRequest{
+		Title:       "runaway",
+		Records:     records(),
+		Deployments: []auditd.DeploymentWire{{Name: "s1+s2", Servers: []string{"s1", "s2"}}},
+		Algorithm:   "failure-sampling",
+		Rounds:      2_000_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := client.Cancel(ctx, runaway.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runaway job %s: %s\n", runaway.ID, st.State)
+
+	stats := svc.Stats()
+	fmt.Printf("computations=%d cache-hits=%d coalesced=%d hit-rate=%.2f\n",
+		stats.Computations, stats.CacheHits, stats.Coalesced, stats.HitRate())
+	if err := svc.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service drained cleanly")
+}

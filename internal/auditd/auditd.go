@@ -1,0 +1,614 @@
+// Package auditd implements the INDaaS audit service: an HTTP/JSON daemon
+// that runs structural independence audits (§4.1) as asynchronous jobs on a
+// bounded worker pool, the always-on counterpart of the one-shot
+// `indaas audit` CLI (§5, Fig. 5).
+//
+// Lifecycle of a job:
+//
+//	POST /v1/audits                submit → {id, state, cache_key}
+//	GET  /v1/audits/{id}           poll (or long-poll with ?wait=5s)
+//	GET  /v1/audits/{id}/report    fetch the finished report
+//	DELETE /v1/audits/{id}         cancel; worker goroutines are released
+//	GET  /v1/cache/{key}           content-addressed report lookup
+//	GET  /metrics                  queue depth, hit rate, worker utilization
+//
+// Work is deduplicated twice: completed reports live in a content-addressed
+// LRU keyed by the canonical hash of (DepDB snapshot fingerprint, graph
+// specs, algorithm options) — an identical audit from any client is a cache
+// hit that never touches the queue — and identical jobs submitted while a
+// computation is still in flight coalesce onto it instead of enqueueing
+// again. Cancellation reference-counts coalesced jobs: a computation's
+// context is canceled only when its last interested job is.
+package auditd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"indaas/internal/depdb"
+	"indaas/internal/report"
+	"indaas/internal/sia"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the worker pool size (default: one per CPU).
+	Workers int
+	// QueueDepth bounds the number of computations waiting for a worker;
+	// submissions beyond it are rejected with 429 (default 128).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 512; 0 keeps the
+	// default, negative disables caching).
+	CacheEntries int
+	// DB is an optional preloaded dependency database, audited when a
+	// request carries no inline records. Writers may keep inserting while
+	// the service runs: each job audits the registered snapshot current at
+	// submission time.
+	DB *depdb.DB
+	// DefaultTimeout caps each job's run time — measured from the moment a
+	// worker starts its computation, so queue wait does not count — when
+	// the request does not set its own (default: none).
+	DefaultTimeout time.Duration
+	// JobRetention bounds the job table: once more jobs than this exist,
+	// the oldest *terminal* jobs (and their report copies) are evicted, so
+	// an always-on daemon does not grow without bound. Evicted jobs 404 on
+	// status/report lookups; their reports stay reachable through
+	// /v1/cache/{key} while cached. Default 4096; negative disables
+	// eviction.
+	JobRetention int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 4096
+	}
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// computation is one unit of queued work; several coalesced jobs may wait
+// on it.
+type computation struct {
+	key     string
+	ctx     context.Context
+	cancel  context.CancelFunc
+	db      depdb.Reader
+	specs   []sia.GraphSpec
+	opts    sia.Options
+	jobs    []*job // attached jobs, including canceled ones
+	refs    int    // attached jobs still interested in the result
+	running bool   // a worker picked it up (guarded by Server.mu)
+}
+
+// job is one client submission.
+type job struct {
+	id        string
+	key       string
+	title     string
+	state     string
+	cached    bool
+	coalesced bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	rep       *report.Report // per-job copy: own Title, shared Audits
+	done      chan struct{}  // closed when the job reaches a terminal state
+	comp      *computation   // nil once terminal or when served from cache
+	// timeout is this job's run-time cap; the watchdog timer is armed when
+	// the job enters StateRunning (also for jobs coalescing onto an
+	// already-running computation), so each coalesced job keeps its own
+	// deadline without imposing it on the shared computation.
+	timeout time.Duration
+	timer   *time.Timer
+}
+
+func (j *job) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// Server is the audit service. Create with New, serve via Handler (any
+// net/http server) and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *computation
+	wg      sync.WaitGroup
+	m       metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job IDs in submission order
+	inflight map[string]*computation
+	cache    *resultCache
+	nextID   uint64
+	closed   bool
+}
+
+// New starts a service with cfg's worker pool running. Callers own the HTTP
+// side: mount Handler on any server. Call Shutdown to stop.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *computation, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*computation),
+		cache:    newResultCache(cfg.CacheEntries),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and accepts an audit request, returning the new job's
+// status. The error, when non-nil, carries an HTTP status via statusErr.
+func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
+	n, opts, err := req.normalize()
+	if err != nil {
+		return JobStatus{}, &statusErr{code: 400, err: err}
+	}
+	var db depdb.Reader
+	switch {
+	case len(req.Records) > 0:
+		fresh := depdb.New()
+		for i, w := range req.Records {
+			r, err := w.Record()
+			if err != nil {
+				return JobStatus{}, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+			}
+			if err := fresh.Put(r); err != nil {
+				return JobStatus{}, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+			}
+		}
+		snap := fresh.Snapshot()
+		n.DBFingerprint = snap.Fingerprint()
+		db = snap
+	case s.cfg.DB != nil:
+		snap := s.cfg.DB.Snapshot()
+		n.DBFingerprint = snap.Fingerprint()
+		db = snap
+	default:
+		return JobStatus{}, &statusErr{code: 400, err: errors.New("request has no records and the server has no preloaded database")}
+	}
+	key := n.key()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.m.rejected.Add(1)
+		return JobStatus{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		key:       key,
+		title:     req.Title,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		timeout:   timeout,
+	}
+
+	if rep, ok := s.cache.get(key); ok {
+		// Content-addressed hit: finish instantly, never touch the queue.
+		j.state = StateDone
+		j.cached = true
+		j.started, j.finished = j.submitted, j.submitted
+		j.rep = retitle(rep, j.title)
+		close(j.done)
+		s.m.cacheHits.Add(1)
+	} else if comp := s.inflight[key]; comp != nil {
+		// Identical computation already queued or running: coalesce.
+		j.state = StateQueued
+		if comp.running {
+			j.state = StateRunning
+			j.started = time.Now()
+			s.armTimeoutLocked(j)
+		}
+		j.coalesced = true
+		j.comp = comp
+		comp.jobs = append(comp.jobs, j)
+		comp.refs++
+		s.m.coalesced.Add(1)
+	} else {
+		cctx, cancel := context.WithCancel(s.baseCtx)
+		comp := &computation{
+			key:    key,
+			ctx:    cctx,
+			cancel: cancel,
+			db:     db,
+			specs:  n.specs(),
+			opts:   opts,
+			jobs:   []*job{j},
+			refs:   1,
+		}
+		select {
+		case s.queue <- comp:
+			j.state = StateQueued
+			j.comp = comp
+			s.inflight[key] = comp
+			s.m.cacheMisses.Add(1)
+		default:
+			cancel()
+			s.m.rejected.Add(1)
+			return JobStatus{}, &statusErr{code: 429, err: fmt.Errorf("queue full (%d computations pending)", s.cfg.QueueDepth)}
+		}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.m.submitted.Add(1)
+	s.pruneLocked()
+	return j.statusLocked(), nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention bound so
+// the job table (and the report copies it pins) stays finite in an
+// always-on daemon. Active jobs are never evicted. Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	if s.cfg.JobRetention < 0 {
+		return
+	}
+	for len(s.jobs) > s.cfg.JobRetention {
+		evicted := false
+		for i, id := range s.order {
+			if s.jobs[id].terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything is in flight; try again on the next submit
+		}
+	}
+}
+
+// armTimeoutLocked starts a job's run-time watchdog. Caller holds s.mu and
+// has just moved the job into StateRunning.
+func (s *Server) armTimeoutLocked(j *job) {
+	if j.timeout <= 0 || j.timer != nil {
+		return
+	}
+	d, id := j.timeout, j.id
+	j.timer = time.AfterFunc(d, func() {
+		s.expireJob(id, d)
+	})
+}
+
+// expireJob cancels a job whose run-time cap elapsed. Only this job is
+// detached; a computation shared with other jobs keeps running for them.
+func (s *Server) expireJob(id string, after time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.terminal() {
+		return
+	}
+	s.cancelLocked(j, fmt.Errorf("timed out after %v: %w", after, context.DeadlineExceeded))
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for comp := range s.queue {
+		s.runComputation(comp)
+	}
+}
+
+// runComputation executes one computation and finishes its attached jobs.
+func (s *Server) runComputation(comp *computation) {
+	s.mu.Lock()
+	if comp.ctx.Err() != nil || comp.refs == 0 {
+		// Canceled while queued: discard without running.
+		s.finishLocked(comp, nil, comp.ctx.Err())
+		s.mu.Unlock()
+		return
+	}
+	comp.running = true
+	now := time.Now()
+	for _, j := range comp.jobs {
+		if !j.terminal() {
+			j.state = StateRunning
+			j.started = now
+			s.armTimeoutLocked(j)
+		}
+	}
+	s.mu.Unlock()
+
+	s.m.busyWorkers.Add(1)
+	s.m.computations.Add(1)
+	rep, err := sia.AuditDeploymentsContext(comp.ctx, comp.db, "", comp.specs, comp.opts)
+	s.m.busyWorkers.Add(-1)
+
+	s.mu.Lock()
+	s.finishLocked(comp, rep, err)
+	s.mu.Unlock()
+}
+
+// finishLocked records a computation's outcome, caches successful reports,
+// and settles every attached job. Caller holds s.mu.
+func (s *Server) finishLocked(comp *computation, rep *report.Report, err error) {
+	comp.cancel() // release the context's timer resources
+	if s.inflight[comp.key] == comp {
+		delete(s.inflight, comp.key)
+	}
+	if err == nil && rep != nil {
+		s.cache.put(comp.key, rep)
+	}
+	now := time.Now()
+	for _, j := range comp.jobs {
+		if j.terminal() { // canceled individually earlier
+			continue
+		}
+		if j.timer != nil {
+			j.timer.Stop()
+		}
+		j.finished = now
+		j.comp = nil
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.rep = retitle(rep, j.title)
+			s.m.completed.Add(1)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCanceled
+			j.err = err
+			s.m.canceled.Add(1)
+		default:
+			j.state = StateFailed
+			j.err = err
+			s.m.failed.Add(1)
+		}
+		close(j.done)
+	}
+}
+
+// Cancel cancels a job. Canceling the last job attached to a computation
+// cancels the computation's context, which the RG algorithms observe within
+// their poll interval, releasing the worker.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, &statusErr{code: 404, err: fmt.Errorf("unknown job %q", id)}
+	}
+	if j.terminal() {
+		return j.statusLocked(), nil // idempotent
+	}
+	s.cancelLocked(j, context.Canceled)
+	return j.statusLocked(), nil
+}
+
+// cancelLocked moves a non-terminal job to StateCanceled with the given
+// cause and detaches it from its computation, canceling the computation
+// only when this was its last interested job. Caller holds s.mu.
+func (s *Server) cancelLocked(j *job, cause error) {
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	j.state = StateCanceled
+	j.finished = time.Now()
+	j.err = cause
+	s.m.canceled.Add(1)
+	close(j.done)
+	if comp := j.comp; comp != nil {
+		j.comp = nil
+		comp.refs--
+		if comp.refs == 0 {
+			// Last interested job: stop the computation and unregister it
+			// so new identical submissions start fresh instead of
+			// attaching to a dying run.
+			comp.cancel()
+			if s.inflight[comp.key] == comp {
+				delete(s.inflight, comp.key)
+			}
+		}
+	}
+}
+
+// Status returns a job's current status.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, &statusErr{code: 404, err: fmt.Errorf("unknown job %q", id)}
+	}
+	return j.statusLocked(), nil
+}
+
+// WaitDone blocks until the job reaches a terminal state, the wait elapses,
+// or ctx is done; it returns the status current at that moment.
+func (s *Server) WaitDone(ctx context.Context, id string, wait time.Duration) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, &statusErr{code: 404, err: fmt.Errorf("unknown job %q", id)}
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	// Render from the job we already hold: re-resolving the ID could 404 if
+	// retention pruning evicted the just-completed job mid-wait.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.statusLocked(), nil
+}
+
+// Report returns a finished job's report. A 409 error means the job is not
+// done yet (or was canceled/failed).
+func (s *Server) Report(id string) (*report.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, &statusErr{code: 404, err: fmt.Errorf("unknown job %q", id)}
+	}
+	if j.state != StateDone {
+		return nil, &statusErr{code: 409, err: fmt.Errorf("job %s is %s", id, j.state)}
+	}
+	return j.rep, nil
+}
+
+// Cached returns the cached report for a content-address, if present.
+func (s *Server) Cached(key string) (*report.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.cache.get(key)
+	if !ok {
+		return nil, &statusErr{code: 404, err: fmt.Errorf("no cached report for %s", key)}
+	}
+	return rep, nil
+}
+
+// Jobs lists every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusLocked())
+	}
+	return out
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	return Stats{
+		Submitted:    s.m.submitted.Load(),
+		Completed:    s.m.completed.Load(),
+		Failed:       s.m.failed.Load(),
+		Canceled:     s.m.canceled.Load(),
+		CacheHits:    s.m.cacheHits.Load(),
+		Coalesced:    s.m.coalesced.Load(),
+		CacheMisses:  s.m.cacheMisses.Load(),
+		Rejected:     s.m.rejected.Load(),
+		Computations: s.m.computations.Load(),
+		BusyWorkers:  s.m.busyWorkers.Load(),
+		QueueDepth:   len(s.queue),
+		Workers:      s.cfg.Workers,
+		CacheEntries: entries,
+	}
+}
+
+// Shutdown stops the service gracefully: new submissions are refused
+// immediately, queued and running jobs keep going until done or until ctx
+// expires, at which point their contexts are canceled and the pool drains
+// as the RG algorithms observe the cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel every computation's context
+		<-done
+		return ctx.Err()
+	}
+}
+
+// statusLocked renders the job's wire status. Caller holds s.mu (or owns
+// the job exclusively).
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		CacheKey:    j.key,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// retitle shallow-copies a report with a per-job title; the Audits slice is
+// shared and treated as immutable once cached.
+func retitle(rep *report.Report, title string) *report.Report {
+	cp := *rep
+	cp.Title = title
+	return &cp
+}
+
+// statusErr pairs an error with the HTTP status it should map to.
+type statusErr struct {
+	code int
+	err  error
+}
+
+func (e *statusErr) Error() string { return e.err.Error() }
+func (e *statusErr) Unwrap() error { return e.err }
+
+// httpStatus extracts the status code, defaulting to 500.
+func httpStatus(err error) int {
+	var se *statusErr
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 500
+}

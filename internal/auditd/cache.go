@@ -1,0 +1,58 @@
+package auditd
+
+import (
+	"container/list"
+
+	"indaas/internal/report"
+)
+
+// resultCache is a bounded LRU of completed audit reports, content-addressed
+// by the canonical request hash. Cached reports are immutable: the server
+// hands out shallow per-job copies (fresh Title, shared Audits), never the
+// stored pointer's fields to mutate. Callers synchronize access (the server
+// uses its own mutex, which also covers the job table).
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	rep *report.Report
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached report for key and marks it recently used.
+func (c *resultCache) get(key string) (*report.Report, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// put stores a completed report, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) put(key string, rep *report.Report) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }

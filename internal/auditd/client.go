@@ -1,0 +1,148 @@
+package auditd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"indaas/internal/report"
+)
+
+// maxResponseBody is the client-side read cap. Reports can dwarf requests
+// (a k=24 fat-tree audit carries >10⁴ risk groups), so this is deliberately
+// far larger than the server's request bound — a sanity stop, not a budget.
+const maxResponseBody = 1 << 30
+
+// Client talks to an audit service over its HTTP/JSON API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service at base, e.g.
+// "http://127.0.0.1:7080". The optional hc overrides http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(blob, &eb) == nil && eb.Error != "" {
+			return &statusErr{code: resp.StatusCode, err: fmt.Errorf("auditd: %s", eb.Error)}
+		}
+		return &statusErr{code: resp.StatusCode, err: fmt.Errorf("auditd: HTTP %d", resp.StatusCode)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// Submit submits an audit job.
+func (c *Client) Submit(ctx context.Context, req *SubmitRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/audits", req, &st)
+	return st, err
+}
+
+// Status fetches a job's status; wait > 0 long-polls server-side.
+func (c *Client) Status(ctx context.Context, id string, wait time.Duration) (JobStatus, error) {
+	path := "/v1/audits/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// WaitDone long-polls until the job reaches a terminal state or ctx is done.
+func (c *Client) WaitDone(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id, 10*time.Second)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Report fetches a finished job's report.
+func (c *Client) Report(ctx context.Context, id string) (*report.Report, error) {
+	var rep report.Report
+	if err := c.do(ctx, http.MethodGet, "/v1/audits/"+url.PathEscape(id)+"/report", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Cancel cancels a job (idempotent).
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/audits/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Cached looks a report up by its content address.
+func (c *Client) Cached(ctx context.Context, key string) (*report.Report, error) {
+	var rep report.Report
+	if err := c.do(ctx, http.MethodGet, "/v1/cache/"+url.PathEscape(key), nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Metrics fetches the raw metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	return string(blob), err
+}

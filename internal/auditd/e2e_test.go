@@ -1,0 +1,181 @@
+package auditd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"indaas/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestHTTPEndToEnd drives the full submit → poll → report flow over real
+// HTTP and pins the report JSON to a golden file (elapsed times zeroed —
+// the only nondeterministic field).
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req := &SubmitRequest{
+		Title:   "e2e smoke",
+		Records: testRecords(),
+		Deployments: []DeploymentWire{
+			{Name: "s1+s2", Servers: []string{"s1", "s2"}},
+			{Name: "s1 alone", Servers: []string{"s1"}},
+			{Name: "net only", Servers: []string{"s1", "s2"}, Kinds: []string{"network"}},
+		},
+		FailureProb: 0.01,
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == StateFailed || st.State == StateCanceled {
+		t.Fatalf("submit landed in %s", st.State)
+	}
+	end, err := c.WaitDone(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.State != StateDone {
+		t.Fatalf("job finished %s (%s)", end.State, end.Error)
+	}
+	rep, err := c.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReportGolden(t, rep, filepath.Join("testdata", "e2e_report_golden.json"))
+
+	// The same report is reachable by content address.
+	cached, err := c.Cached(ctx, st.CacheKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Audits) != len(rep.Audits) {
+		t.Fatalf("cached lookup returned %d audits, want %d", len(cached.Audits), len(rep.Audits))
+	}
+
+	// An unweighted audit must survive JSON encoding (NaN → omitted).
+	unweighted := &SubmitRequest{
+		Title:       "unweighted",
+		Records:     testRecords(),
+		Deployments: []DeploymentWire{{Name: "s1+s2", Servers: []string{"s1", "s2"}}},
+		Algorithm:   "failure-sampling",
+		Rounds:      5_000,
+	}
+	st2, err := c.Submit(ctx, unweighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitDone(ctx, st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := c.Report(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Audits) != 1 || rep2.Audits[0].Algorithm != "failure-sampling" {
+		t.Fatalf("unexpected unweighted report: %+v", rep2)
+	}
+
+	// Metrics expose the counters the dashboard needs.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"auditd_jobs_submitted_total 2",
+		"auditd_cache_hit_rate",
+		"auditd_queue_depth",
+		"auditd_workers_busy",
+		"auditd_computations_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Error surfaces: unknown job, premature report, bad body.
+	if _, err := c.Status(ctx, "job-999999", 0); httpStatus(err) != 404 {
+		t.Errorf("unknown job: want 404, got %v", err)
+	}
+	if _, err := c.Submit(ctx, &SubmitRequest{}); httpStatus(err) != 400 {
+		t.Errorf("empty submit: want 400, got %v", err)
+	}
+}
+
+// TestHTTPCancel cancels an in-flight job through the API and confirms the
+// worker pool recovers, all over real HTTP.
+func TestHTTPCancel(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, slowRequest("stuck", 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, err := c.Cancel(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != StateCanceled {
+		t.Fatalf("cancel returned %s", canceled.State)
+	}
+	quick, err := c.Submit(ctx, quickRequest("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := c.WaitDone(ctx, quick.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.State != StateDone {
+		t.Fatalf("post-cancel job finished %s", end.State)
+	}
+}
+
+// compareReportGolden pins a report's JSON to a golden file with elapsed
+// times zeroed.
+func compareReportGolden(t *testing.T, rep *report.Report, golden string) {
+	t.Helper()
+	norm := *rep
+	norm.Audits = append([]report.DeploymentAudit(nil), rep.Audits...)
+	for i := range norm.Audits {
+		norm.Audits[i].Elapsed = 0
+	}
+	got, err := json.MarshalIndent(&norm, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/auditd -update`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report drifted from %s.\ngot:\n%s", golden, got)
+	}
+}

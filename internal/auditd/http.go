@@ -1,0 +1,123 @@
+package auditd
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// maxRequestBody bounds submit bodies (inline record sets included) at 32 MiB.
+const maxRequestBody = 32 << 20
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/audits", s.handleSubmit)
+	mux.HandleFunc("GET /v1/audits", s.handleList)
+	mux.HandleFunc("GET /v1/audits/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/audits/{id}/report", s.handleReport)
+	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCached)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // client gone mid-write is not actionable
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, 400, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	code := 202 // accepted, result pending
+	if st.State == StateDone {
+		code = 200 // cache hit: already answered
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, 200, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{s.Jobs()})
+}
+
+// handleStatus returns a job's status; ?wait=5s long-polls until the job is
+// terminal or the wait elapses (capped at one minute).
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeJSON(w, 400, errorBody{Error: "bad wait duration"})
+			return
+		}
+		if d > time.Minute {
+			d = time.Minute
+		}
+		wait = d
+	}
+	st, err := s.WaitDone(r.Context(), r.PathValue("id"), wait)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Report(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, rep)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, st)
+}
+
+func (s *Server) handleCached(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Cached(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, rep)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Stats().render(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, 200, struct {
+		OK bool `json:"ok"`
+	}{true})
+}

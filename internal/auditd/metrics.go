@@ -1,0 +1,73 @@
+package auditd
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the service counters, updated atomically so the /metrics
+// handler never contends with the job table lock.
+type metrics struct {
+	submitted    atomic.Int64 // jobs accepted (any path)
+	completed    atomic.Int64 // jobs finished successfully
+	failed       atomic.Int64 // jobs finished with an error
+	canceled     atomic.Int64 // jobs canceled via the API or shutdown
+	cacheHits    atomic.Int64 // jobs answered from the result cache
+	coalesced    atomic.Int64 // jobs attached to an in-flight computation
+	cacheMisses  atomic.Int64 // jobs that had to enqueue a computation
+	rejected     atomic.Int64 // submissions refused (queue full / closing)
+	computations atomic.Int64 // computations actually run by workers
+	busyWorkers  atomic.Int64 // workers currently running a computation
+}
+
+// Stats is a point-in-time snapshot of the service counters, exported for
+// tests and operational introspection.
+type Stats struct {
+	Submitted    int64
+	Completed    int64
+	Failed       int64
+	Canceled     int64
+	CacheHits    int64
+	Coalesced    int64
+	CacheMisses  int64
+	Rejected     int64
+	Computations int64
+	BusyWorkers  int64
+	QueueDepth   int
+	Workers      int
+	CacheEntries int
+}
+
+// HitRate is the fraction of accepted jobs that did not need their own
+// computation (cache hits plus in-flight coalescing).
+func (s Stats) HitRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.Coalesced) / float64(s.Submitted)
+}
+
+// render writes the counters in the Prometheus text exposition format.
+func (s Stats) render(w io.Writer) {
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("auditd_jobs_submitted_total", "Jobs accepted by the service.", s.Submitted)
+	counter("auditd_jobs_completed_total", "Jobs finished successfully.", s.Completed)
+	counter("auditd_jobs_failed_total", "Jobs finished with an error.", s.Failed)
+	counter("auditd_jobs_canceled_total", "Jobs canceled before completion.", s.Canceled)
+	counter("auditd_jobs_rejected_total", "Submissions refused (queue full or shutting down).", s.Rejected)
+	counter("auditd_cache_hits_total", "Jobs answered from the result cache.", s.CacheHits)
+	counter("auditd_cache_coalesced_total", "Jobs attached to an identical in-flight computation.", s.Coalesced)
+	counter("auditd_cache_misses_total", "Jobs that enqueued their own computation.", s.CacheMisses)
+	counter("auditd_computations_total", "Computations executed by the worker pool.", s.Computations)
+	gauge("auditd_cache_hit_rate", "Fraction of jobs served without a dedicated computation.", s.HitRate())
+	gauge("auditd_cache_entries", "Reports currently in the result cache.", s.CacheEntries)
+	gauge("auditd_queue_depth", "Computations waiting for a worker.", s.QueueDepth)
+	gauge("auditd_workers", "Size of the worker pool.", s.Workers)
+	gauge("auditd_workers_busy", "Workers currently running a computation.", s.BusyWorkers)
+}

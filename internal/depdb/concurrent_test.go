@@ -1,0 +1,131 @@
+package depdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"indaas/internal/deps"
+)
+
+// TestConcurrentReadersDuringPut drives parallel readers (queries and
+// snapshots) against a writer inserting batches; the -race run in CI is the
+// actual assertion, the checks here just keep the compiler honest.
+func TestConcurrentReadersDuringPut(t *testing.T) {
+	db := New()
+	if err := db.Put(deps.NewNetwork("seed", "Internet", "sw0")); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		readers = 8
+		batches = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				srv := fmt.Sprintf("srv-%d-%d", w, i)
+				err := db.Put(
+					deps.NewNetwork(srv, "Internet", "tor1", "agg1"),
+					deps.NewHardware(srv, "Disk", srv+"-SED900"),
+					deps.NewSoftware("nginx", srv, "libc6", "libssl3"),
+				)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := db.QueryAll("seed"); len(got) != 1 {
+					t.Errorf("QueryAll(seed) = %d records, want 1", len(got))
+					return
+				}
+				db.Subjects()
+				db.Networks("seed")
+				snap := db.Snapshot()
+				if snap.Len() < 1 {
+					t.Error("snapshot lost the seed record")
+					return
+				}
+				if got := snap.QueryAll("seed"); len(got) != 1 {
+					t.Errorf("snapshot QueryAll(seed) = %d records, want 1", len(got))
+					return
+				}
+				snap.Fingerprint()
+			}
+		}()
+	}
+	wg.Wait()
+	want := 1 + writers*batches*3
+	if db.Len() != want {
+		t.Fatalf("db.Len() = %d, want %d", db.Len(), want)
+	}
+}
+
+func TestSnapshotRegistration(t *testing.T) {
+	db := New()
+	if err := db.Put(deps.NewHardware("s1", "Disk", "S1-SED900")); err != nil {
+		t.Fatal(err)
+	}
+	s1 := db.Snapshot()
+	if s2 := db.Snapshot(); s1 != s2 {
+		t.Fatal("snapshots between writes must be the registered identical view")
+	}
+	if err := db.Put(deps.NewHardware("s2", "Disk", "S2-SED900")); err != nil {
+		t.Fatal(err)
+	}
+	s3 := db.Snapshot()
+	if s3 == s1 {
+		t.Fatal("Put must invalidate the registered snapshot")
+	}
+	// The old snapshot keeps serving its frozen view.
+	if s1.Len() != 1 || len(s1.HardwareOf("s2")) != 0 {
+		t.Fatalf("old snapshot changed: Len=%d", s1.Len())
+	}
+	if s3.Len() != 2 || len(s3.HardwareOf("s2")) != 1 {
+		t.Fatalf("new snapshot wrong: Len=%d", s3.Len())
+	}
+	if s1.Fingerprint() == s3.Fingerprint() {
+		t.Fatal("different contents must have different fingerprints")
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	recs := []deps.Record{
+		deps.NewNetwork("s1", "Internet", "tor1", "agg2", "core3"),
+		deps.NewHardware("s1", "Disk", "S1-SED900"),
+		deps.NewSoftware("mysql", "s1", "libc6", "libssl3"),
+	}
+	a, b := New(), New()
+	if err := a.Put(recs...); err != nil {
+		t.Fatal(err)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if err := b.Put(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint must not depend on insertion order")
+	}
+	// Route order is semantic (an ordered path) and must stay significant.
+	c := New()
+	if err := c.Put(
+		deps.NewNetwork("s1", "Internet", "agg2", "tor1", "core3"),
+		recs[1], recs[2],
+	); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("reordering a route must change the fingerprint")
+	}
+}

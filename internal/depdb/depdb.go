@@ -5,32 +5,95 @@
 // Steps 2-6). The store is safe for concurrent use, indexes records by
 // subject (the server a record is about) and kind, and can persist itself to
 // the Table 1 XML format.
+//
+// Long-running readers — concurrent audit jobs in particular — should not
+// hold the database's lock for the duration of a graph build. Snapshot
+// returns a registered immutable view: the first call after a write
+// materializes the view once, every further call returns the same one, and
+// the next Put simply invalidates the registration. A snapshot also carries
+// a content Fingerprint, the canonical hash the audit service uses to
+// content-address cached results.
 package depdb
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 
 	"indaas/internal/deps"
 )
 
-// DB is an in-memory dependency database with per-subject, per-kind indexes.
-// The zero value is not usable; call New.
-type DB struct {
-	mu      sync.RWMutex
+// Reader is the read side of a dependency database: what graph builders
+// need. Both *DB (locked) and *Snapshot (immutable) implement it.
+type Reader interface {
+	// Query returns the records for subject of the given kind, in
+	// insertion order.
+	Query(subject string, kind deps.Kind) []deps.Record
+	// QueryAll returns every record about subject, grouped network,
+	// hardware, software (each group in insertion order).
+	QueryAll(subject string) []deps.Record
+	// Networks returns the network records for subject, unwrapped.
+	Networks(subject string) []deps.Network
+	// HardwareOf returns the hardware records for subject, unwrapped.
+	HardwareOf(subject string) []deps.Hardware
+	// SoftwareOf returns the software records for subject, unwrapped.
+	SoftwareOf(subject string) []deps.Software
+	// Subjects returns every subject with at least one record, sorted.
+	Subjects() []string
+	// Len returns the number of stored records.
+	Len() int
+}
+
+// view is the shared read-only query core: a record log plus a
+// per-subject, per-kind position index.
+type view struct {
 	records []deps.Record
 	// index[subject][kind] -> positions into records
 	index map[string]map[deps.Kind][]int
 }
 
+func (v *view) query(subject string, kind deps.Kind) []deps.Record {
+	byKind, ok := v.index[subject]
+	if !ok {
+		return nil
+	}
+	positions := byKind[kind]
+	out := make([]deps.Record, 0, len(positions))
+	for _, p := range positions {
+		out = append(out, v.records[p])
+	}
+	return out
+}
+
+func (v *view) subjects() []string {
+	out := make([]string, 0, len(v.index))
+	for s := range v.index {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DB is an in-memory dependency database with per-subject, per-kind indexes.
+// The zero value is not usable; call New.
+type DB struct {
+	mu   sync.RWMutex
+	v    view
+	snap *Snapshot // registered snapshot; nil after a write
+}
+
 // New returns an empty database.
 func New() *DB {
-	return &DB{index: make(map[string]map[deps.Kind][]int)}
+	return &DB{v: view{index: make(map[string]map[deps.Kind][]int)}}
 }
 
 // Put validates and stores records. Either all records are stored or none.
+// Any registered snapshot is invalidated; snapshots taken earlier keep
+// serving their frozen view.
 func (db *DB) Put(records ...deps.Record) error {
 	for i, r := range records {
 		if err := r.Validate(); err != nil {
@@ -39,37 +102,72 @@ func (db *DB) Put(records ...deps.Record) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.snap = nil
 	for _, r := range records {
-		pos := len(db.records)
-		db.records = append(db.records, r)
+		pos := len(db.v.records)
+		db.v.records = append(db.v.records, r)
 		subj := r.Subject()
-		byKind := db.index[subj]
+		byKind := db.v.index[subj]
 		if byKind == nil {
 			byKind = make(map[deps.Kind][]int)
-			db.index[subj] = byKind
+			db.v.index[subj] = byKind
 		}
 		byKind[r.Kind] = append(byKind[r.Kind], pos)
 	}
 	return nil
 }
 
+// Snapshot returns the registered immutable view of the database's current
+// contents. The snapshot is built at most once per write generation: calls
+// between two Puts return the identical *Snapshot, so concurrent audit jobs
+// share one frozen view (and one Fingerprint) instead of copying the store
+// per job. The snapshot stays valid — and unchanged — after later Puts.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.RLock()
+	s := db.snap
+	db.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.snap == nil {
+		// Freeze the record log by capping its capacity (later appends
+		// reallocate or write beyond the cap, never into the frozen
+		// prefix) and deep-copy the position index, whose slices *are*
+		// appended to in place.
+		recs := db.v.records[:len(db.v.records):len(db.v.records)]
+		idx := make(map[string]map[deps.Kind][]int, len(db.v.index))
+		for subj, byKind := range db.v.index {
+			m := make(map[deps.Kind][]int, len(byKind))
+			for k, pos := range byKind {
+				m[k] = append([]int(nil), pos...)
+			}
+			idx[subj] = m
+		}
+		db.snap = &Snapshot{v: view{records: recs, index: idx}, fp: fingerprint(recs)}
+	}
+	return db.snap
+}
+
+// Fingerprint returns the canonical content hash of the current records;
+// shorthand for db.Snapshot().Fingerprint().
+func (db *DB) Fingerprint() string {
+	return db.Snapshot().Fingerprint()
+}
+
 // Len returns the number of stored records.
 func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.records)
+	return len(db.v.records)
 }
 
 // Subjects returns every subject that has at least one record, sorted.
 func (db *DB) Subjects() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.index))
-	for s := range db.index {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out
+	return db.v.subjects()
 }
 
 // Query returns the records for subject of the given kind, in insertion
@@ -77,16 +175,7 @@ func (db *DB) Subjects() []string {
 func (db *DB) Query(subject string, kind deps.Kind) []deps.Record {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	byKind, ok := db.index[subject]
-	if !ok {
-		return nil
-	}
-	positions := byKind[kind]
-	out := make([]deps.Record, 0, len(positions))
-	for _, p := range positions {
-		out = append(out, db.records[p])
-	}
-	return out
+	return db.v.query(subject, kind)
 }
 
 // QueryAll returns every record about subject, grouped network, hardware,
@@ -103,37 +192,22 @@ func (db *DB) QueryAll(subject string) []deps.Record {
 func (db *DB) Records() []deps.Record {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return append([]deps.Record(nil), db.records...)
+	return append([]deps.Record(nil), db.v.records...)
 }
 
 // Networks returns the network records for subject, unwrapped.
 func (db *DB) Networks(subject string) []deps.Network {
-	recs := db.Query(subject, deps.KindNetwork)
-	out := make([]deps.Network, 0, len(recs))
-	for _, r := range recs {
-		out = append(out, *r.Network)
-	}
-	return out
+	return unwrapNetworks(db.Query(subject, deps.KindNetwork))
 }
 
 // HardwareOf returns the hardware records for subject, unwrapped.
 func (db *DB) HardwareOf(subject string) []deps.Hardware {
-	recs := db.Query(subject, deps.KindHardware)
-	out := make([]deps.Hardware, 0, len(recs))
-	for _, r := range recs {
-		out = append(out, *r.Hardware)
-	}
-	return out
+	return unwrapHardware(db.Query(subject, deps.KindHardware))
 }
 
 // SoftwareOf returns the software records for subject, unwrapped.
 func (db *DB) SoftwareOf(subject string) []deps.Software {
-	recs := db.Query(subject, deps.KindSoftware)
-	out := make([]deps.Software, 0, len(recs))
-	for _, r := range recs {
-		out = append(out, *r.Software)
-	}
-	return out
+	return unwrapSoftware(db.Query(subject, deps.KindSoftware))
 }
 
 // WriteXML persists the whole database in the Table 1 XML format.
@@ -149,4 +223,120 @@ func (db *DB) ReadXML(r io.Reader) error {
 		return err
 	}
 	return db.Put(records...)
+}
+
+// Snapshot is an immutable point-in-time view of a DB. It needs no locks,
+// so any number of audit jobs can query it while writers keep inserting
+// into the live database.
+type Snapshot struct {
+	v  view
+	fp string
+}
+
+// Fingerprint returns the snapshot's canonical content hash: the SHA-256
+// over the sorted canonical serializations of its records, hex-encoded.
+// Two databases loaded with the same records in any insertion order have
+// equal fingerprints, which is what makes the hash usable as a
+// content-address for cached audit results.
+func (s *Snapshot) Fingerprint() string { return s.fp }
+
+// Len returns the number of records in the snapshot.
+func (s *Snapshot) Len() int { return len(s.v.records) }
+
+// Subjects returns every subject with at least one record, sorted.
+func (s *Snapshot) Subjects() []string { return s.v.subjects() }
+
+// Query returns the records for subject of the given kind, in insertion
+// order.
+func (s *Snapshot) Query(subject string, kind deps.Kind) []deps.Record {
+	return s.v.query(subject, kind)
+}
+
+// QueryAll returns every record about subject, grouped network, hardware,
+// software.
+func (s *Snapshot) QueryAll(subject string) []deps.Record {
+	var out []deps.Record
+	for _, k := range []deps.Kind{deps.KindNetwork, deps.KindHardware, deps.KindSoftware} {
+		out = append(out, s.Query(subject, k)...)
+	}
+	return out
+}
+
+// Records returns a copy of every record in insertion order.
+func (s *Snapshot) Records() []deps.Record {
+	return append([]deps.Record(nil), s.v.records...)
+}
+
+// Networks returns the network records for subject, unwrapped.
+func (s *Snapshot) Networks(subject string) []deps.Network {
+	return unwrapNetworks(s.Query(subject, deps.KindNetwork))
+}
+
+// HardwareOf returns the hardware records for subject, unwrapped.
+func (s *Snapshot) HardwareOf(subject string) []deps.Hardware {
+	return unwrapHardware(s.Query(subject, deps.KindHardware))
+}
+
+// SoftwareOf returns the software records for subject, unwrapped.
+func (s *Snapshot) SoftwareOf(subject string) []deps.Software {
+	return unwrapSoftware(s.Query(subject, deps.KindSoftware))
+}
+
+func unwrapNetworks(recs []deps.Record) []deps.Network {
+	out := make([]deps.Network, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r.Network)
+	}
+	return out
+}
+
+func unwrapHardware(recs []deps.Record) []deps.Hardware {
+	out := make([]deps.Hardware, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r.Hardware)
+	}
+	return out
+}
+
+func unwrapSoftware(recs []deps.Record) []deps.Software {
+	out := make([]deps.Software, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r.Software)
+	}
+	return out
+}
+
+// fingerprint hashes records order-independently: each record serializes to
+// a canonical line (field separator 0x1f, list separator 0x1e — neither
+// occurs in component names), the lines are sorted, and the sorted block is
+// SHA-256'd.
+func fingerprint(records []deps.Record) string {
+	lines := make([]string, 0, len(records))
+	for _, r := range records {
+		lines = append(lines, canonicalLine(r))
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		io.WriteString(h, l)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func canonicalLine(r deps.Record) string {
+	const fs, ls = "\x1f", "\x1e"
+	switch r.Kind {
+	case deps.KindNetwork:
+		n := r.Network
+		return "net" + fs + n.Src + fs + n.Dst + fs + strings.Join(n.Route, ls)
+	case deps.KindHardware:
+		h := r.Hardware
+		return "hw" + fs + h.HW + fs + h.Type + fs + h.Dep
+	case deps.KindSoftware:
+		s := r.Software
+		return "sw" + fs + s.Pgm + fs + s.HW + fs + strings.Join(s.Dep, ls)
+	default:
+		return fmt.Sprintf("kind(%d)", int(r.Kind))
+	}
 }

@@ -1,0 +1,121 @@
+// Stable JSON encodings for audit reports.
+//
+// encoding/json refuses NaN outright, and unweighted audits legitimately
+// carry NaN in RGEntry.Prob/Importance and DeploymentAudit.FailureProb ("no
+// probability known"). The custom marshalers below encode unknown
+// probabilities by omission and decode omission (or null) back to NaN, so a
+// report round-trips bit-stable through the audit service's HTTP API.
+// Elapsed times are pinned to integer nanoseconds under "elapsed_ns" rather
+// than time.Duration's default encoding, keeping the wire format explicit.
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"time"
+)
+
+// nanOmit maps NaN to nil so "unknown" serializes as an omitted field.
+func nanOmit(f float64) *float64 {
+	if math.IsNaN(f) {
+		return nil
+	}
+	return &f
+}
+
+// orNaN maps a missing/null field back to NaN.
+func orNaN(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+type rgEntryJSON struct {
+	Components []string `json:"components"`
+	Size       int      `json:"size"`
+	Prob       *float64 `json:"prob,omitempty"`
+	Importance *float64 `json:"importance,omitempty"`
+}
+
+// MarshalJSON encodes the entry with unknown (NaN) probabilities omitted.
+func (e RGEntry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(rgEntryJSON{
+		Components: e.Components,
+		Size:       e.Size,
+		Prob:       nanOmit(e.Prob),
+		Importance: nanOmit(e.Importance),
+	})
+}
+
+// UnmarshalJSON decodes the entry, mapping omitted or null probabilities
+// back to NaN.
+func (e *RGEntry) UnmarshalJSON(data []byte) error {
+	var w rgEntryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*e = RGEntry{
+		Components: w.Components,
+		Size:       w.Size,
+		Prob:       orNaN(w.Prob),
+		Importance: orNaN(w.Importance),
+	}
+	return nil
+}
+
+type deploymentAuditJSON struct {
+	Deployment  string    `json:"deployment"`
+	Sources     []string  `json:"sources"`
+	Expected    int       `json:"expected"`
+	RGs         []RGEntry `json:"rgs"`
+	Unexpected  int       `json:"unexpected"`
+	Score       *float64  `json:"score,omitempty"`
+	ScoreTopN   int       `json:"score_top_n"`
+	FailureProb *float64  `json:"failure_prob,omitempty"`
+	Algorithm   string    `json:"algorithm"`
+	ElapsedNS   int64     `json:"elapsed_ns"`
+	Truncated   bool      `json:"truncated,omitempty"`
+}
+
+// MarshalJSON encodes the audit with an omitted failure probability when it
+// is unknown (unweighted audits) and the elapsed time as integer
+// nanoseconds.
+func (d DeploymentAudit) MarshalJSON() ([]byte, error) {
+	return json.Marshal(deploymentAuditJSON{
+		Deployment:  d.Deployment,
+		Sources:     d.Sources,
+		Expected:    d.Expected,
+		RGs:         d.RGs,
+		Unexpected:  d.Unexpected,
+		Score:       nanOmit(d.Score),
+		ScoreTopN:   d.ScoreTopN,
+		FailureProb: nanOmit(d.FailureProb),
+		Algorithm:   d.Algorithm,
+		ElapsedNS:   d.Elapsed.Nanoseconds(),
+		Truncated:   d.Truncated,
+	})
+}
+
+// UnmarshalJSON decodes the audit, mapping omitted probabilities back to
+// NaN.
+func (d *DeploymentAudit) UnmarshalJSON(data []byte) error {
+	var w deploymentAuditJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*d = DeploymentAudit{
+		Deployment:  w.Deployment,
+		Sources:     w.Sources,
+		Expected:    w.Expected,
+		RGs:         w.RGs,
+		Unexpected:  w.Unexpected,
+		Score:       orNaN(w.Score),
+		ScoreTopN:   w.ScoreTopN,
+		FailureProb: orNaN(w.FailureProb),
+		Algorithm:   w.Algorithm,
+		Elapsed:     time.Duration(w.ElapsedNS),
+		Truncated:   w.Truncated,
+	}
+	return nil
+}

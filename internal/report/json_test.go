@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureReport mixes a weighted audit with an unweighted one whose
+// probability fields are all NaN — the case that used to make
+// encoding/json fail outright.
+func fixtureReport() *Report {
+	return &Report{
+		Title: "golden",
+		Audits: []DeploymentAudit{
+			{
+				Deployment: "weighted",
+				Sources:    []string{"s1", "s2"},
+				Expected:   2,
+				RGs: []RGEntry{
+					{Components: []string{"ToR1"}, Size: 1, Prob: 0.01, Importance: 0.42},
+					{Components: []string{"Core1", "Core2"}, Size: 2, Prob: 0.0001, Importance: 0.058},
+				},
+				Unexpected:  1,
+				Score:       1.25,
+				ScoreTopN:   2,
+				FailureProb: 0.0101,
+				Algorithm:   "minimal-rg",
+				Elapsed:     1500 * time.Microsecond,
+			},
+			{
+				Deployment: "unweighted",
+				Sources:    []string{"s1", "s3"},
+				Expected:   2,
+				RGs: []RGEntry{
+					{Components: []string{"libc6"}, Size: 1, Prob: math.NaN(), Importance: math.NaN()},
+				},
+				Unexpected:  1,
+				Score:       1,
+				ScoreTopN:   1,
+				FailureProb: math.NaN(),
+				Algorithm:   "failure-sampling",
+				Elapsed:     2 * time.Millisecond,
+				Truncated:   true,
+			},
+		},
+	}
+}
+
+// TestReportJSONGoldenRoundTrip pins the wire format: marshaling the
+// fixture must reproduce testdata/report_golden.json byte for byte, and
+// decoding the golden file must round-trip back to the same bytes (NaN
+// fields come back as NaN, not zero).
+func TestReportJSONGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "report_golden.json")
+	got, err := json.MarshalIndent(fixtureReport(), "", "  ")
+	if err != nil {
+		t.Fatalf("marshal with NaN fields: %v", err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoding drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	var decoded Report
+	if err := json.Unmarshal(want, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(decoded.Audits[1].FailureProb) {
+		t.Errorf("omitted failure_prob must decode to NaN, got %v", decoded.Audits[1].FailureProb)
+	}
+	if !math.IsNaN(decoded.Audits[1].RGs[0].Prob) || !math.IsNaN(decoded.Audits[1].RGs[0].Importance) {
+		t.Error("omitted RG prob/importance must decode to NaN")
+	}
+	if decoded.Audits[0].Elapsed != 1500*time.Microsecond {
+		t.Errorf("elapsed_ns round-trip: got %v", decoded.Audits[0].Elapsed)
+	}
+	again, err := json.MarshalIndent(&decoded, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again = append(again, '\n')
+	if !bytes.Equal(again, want) {
+		t.Errorf("decode→encode is not stable.\ngot:\n%s", again)
+	}
+}
+
+// TestRenderUnweightedStillWorks guards the text renderer against the NaN
+// fields the JSON path special-cases.
+func TestRenderUnweightedStillWorks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureReport().Render(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -64,10 +64,12 @@ func (d *DeploymentAudit) SizeVector() []int {
 }
 
 // Report is a full auditing report over alternative deployments, ranked
-// most-independent first.
+// most-independent first. Its JSON form is stable (see json.go): unknown
+// probabilities are omitted rather than encoded as NaN, which
+// encoding/json rejects.
 type Report struct {
-	Title  string
-	Audits []DeploymentAudit
+	Title  string            `json:"title"`
+	Audits []DeploymentAudit `json:"audits"`
 }
 
 // CompareMode selects how deployments are ranked in the report.
@@ -173,18 +175,18 @@ func (r *Report) Render(w io.Writer, maxRGs int) error {
 
 // PIAEntry is one privately-audited deployment (§4.2.5).
 type PIAEntry struct {
-	Providers []string
-	Jaccard   float64
-	Estimated bool // true when MinHash-estimated rather than exact
-	BytesSent int64
-	Elapsed   time.Duration
+	Providers []string      `json:"providers"`
+	Jaccard   float64       `json:"jaccard"`
+	Estimated bool          `json:"estimated,omitempty"` // true when MinHash-estimated rather than exact
+	BytesSent int64         `json:"bytes_sent,omitempty"`
+	Elapsed   time.Duration `json:"elapsed_ns,omitempty"`
 }
 
 // PIAReport ranks redundancy deployments by Jaccard similarity: lower
 // similarity means fewer shared components, i.e. more independence.
 type PIAReport struct {
-	Title   string
-	Entries []PIAEntry
+	Title   string     `json:"title"`
+	Entries []PIAEntry `json:"entries"`
 }
 
 // Rank sorts entries ascending by Jaccard (most independent first),

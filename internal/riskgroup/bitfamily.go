@@ -1,6 +1,7 @@
 package riskgroup
 
 import (
+	"context"
 	mbits "math/bits"
 	"sort"
 
@@ -32,6 +33,39 @@ type minCtx struct {
 	dedup    dedupTable
 	postings [][]int32 // witness index → kept positions (absorption)
 	touched  []int32   // witness indices to clear after a minimize
+
+	// cctx, when non-nil, is polled every pollInterval set operations so
+	// fat-tree-scale products and absorption passes stay cancellable;
+	// cancelErr latches the first observed ctx error so every later poll
+	// bails without re-asking the context.
+	cctx      context.Context
+	steps     uint32
+	cancelErr error
+}
+
+// pollInterval is how many set operations pass between context polls: large
+// enough that the mutex inside context.Err stays off the profile, small
+// enough (~a few hundred µs of work) that cancellation lands promptly.
+const pollInterval = 4096
+
+// poll reports whether the computation is canceled, checking the context
+// once every pollInterval calls.
+func (c *minCtx) poll() bool {
+	if c.cancelErr != nil {
+		return true
+	}
+	if c.cctx == nil {
+		return false
+	}
+	c.steps++
+	if c.steps%pollInterval != 0 {
+		return false
+	}
+	if err := c.cctx.Err(); err != nil {
+		c.cancelErr = err
+		return true
+	}
+	return false
 }
 
 func newMinCtx(width int) *minCtx {
@@ -187,6 +221,9 @@ func (c *minCtx) minimize(fam []brg) []brg {
 		classStart = upto
 	}
 	for _, s := range uniq {
+		if c.poll() {
+			break // canceled: caller sees cancelErr, partial result is discarded
+		}
 		if s.n != prevSize {
 			publish(len(kept))
 			prevSize = s.n

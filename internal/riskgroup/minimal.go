@@ -1,6 +1,7 @@
 package riskgroup
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,9 +37,22 @@ type MinimalOptions struct {
 // word hash — the representation that keeps large fat-tree products
 // tractable. The result is sorted by size, then lexicographically.
 func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
+	return MinimalRGsContext(context.Background(), g, opts)
+}
+
+// MinimalRGsContext is MinimalRGs under a context. Cancellation is polled
+// inside the cartesian-product and absorption loops (every few thousand set
+// operations), so even a runaway k=24 fat-tree enumeration aborts promptly:
+// the call returns ctx.Err() (wrapped with the event being expanded) and
+// discards all partial families. A nil result always accompanies the error.
+func MinimalRGsContext(cctx context.Context, g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
 	ctx := newMinCtx(g.NumBasics())
+	ctx.cctx = cctx
 	families := make([][]brg, g.Len())
 	for _, id := range g.TopoOrder() {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		n := g.Node(id)
 		var fam []brg
 		switch n.Gate {
@@ -102,12 +116,18 @@ func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
 			}
 			fam = all
 		}
+		if ctx.cancelErr != nil { // a minimize pass bailed mid-absorption
+			return nil, fmt.Errorf("riskgroup: at event %q: %w", n.Label, ctx.cancelErr)
+		}
 		if opts.MaxSets > 0 && len(fam) > opts.MaxSets {
 			return nil, fmt.Errorf("riskgroup: at event %q: family of %d sets exceeds MaxSets=%d", n.Label, len(fam), opts.MaxSets)
 		}
 		families[id] = fam
 	}
 	top := ctx.minimize(families[g.Top()]) // idempotent when per-node minimization ran
+	if ctx.cancelErr != nil {
+		return nil, ctx.cancelErr
+	}
 	sortBrgs(top)
 	return graphIndexer{g: g}.toFamily(top), nil
 }
@@ -160,6 +180,9 @@ func (c *minCtx) product(a, b []brg, opts MinimalOptions) ([]brg, error) {
 	hashOf := func(i int32) uint64 { return out[i].w.Hash() }
 	for _, x := range a {
 		for _, y := range b {
+			if c.poll() {
+				return nil, c.cancelErr
+			}
 			c.scratch.OrOf(x.w, y.w)
 			n := c.scratch.Count()
 			if opts.MaxSize > 0 && n > opts.MaxSize {

@@ -1,6 +1,7 @@
 package riskgroup
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -57,6 +58,17 @@ type Sampler struct {
 // detected RGs, sorted by size then lexicographically. With Shrink the
 // family is additionally minimized (every member verified irreducible).
 func (s Sampler) Sample(g *faultgraph.Graph) ([]RG, error) {
+	return s.SampleContext(context.Background(), g)
+}
+
+// SampleContext is Sample under a context. Every worker goroutine polls the
+// context once per sampleCheckInterval rounds: on cancellation all workers
+// exit promptly (typically within a millisecond of sampling work), their
+// partial families are discarded, and the call returns ctx.Err() with a nil
+// family. Cancellation observed only after every round completed still
+// reports ctx.Err(), matching the usual Go convention that a canceled call
+// never returns a result.
+func (s Sampler) SampleContext(ctx context.Context, g *faultgraph.Graph) ([]RG, error) {
 	if s.Rounds <= 0 {
 		return nil, fmt.Errorf("riskgroup: Sampler.Rounds must be positive, got %d", s.Rounds)
 	}
@@ -99,7 +111,7 @@ func (s Sampler) Sample(g *faultgraph.Graph) ([]RG, error) {
 	// matching the sequential sampler's behavior on Fig. 7 curves.
 	results := make([][]RG, workers)
 	if workers == 1 {
-		results[0] = sampleRounds(g, basics, probs, seed, s.Rounds, s.Shrink)
+		results[0] = sampleRounds(ctx, g, basics, probs, seed, s.Rounds, s.Shrink)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -110,10 +122,13 @@ func (s Sampler) Sample(g *faultgraph.Graph) ([]RG, error) {
 			wg.Add(1)
 			go func(w, share int) {
 				defer wg.Done()
-				results[w] = sampleRounds(g, basics, probs, seed+int64(w), share, s.Shrink)
+				results[w] = sampleRounds(ctx, g, basics, probs, seed+int64(w), share, s.Shrink)
 			}(w, share)
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Merge in worker order, deduplicating across workers; the final
@@ -138,10 +153,17 @@ func (s Sampler) Sample(g *faultgraph.Graph) ([]RG, error) {
 	return out, nil
 }
 
+// sampleCheckInterval is how many rounds a sampling worker runs between
+// context polls: a round costs microseconds, so cancellation lands within
+// about a millisecond without the context's mutex showing up in profiles.
+const sampleCheckInterval = 256
+
 // sampleRounds is one worker's sampling loop. All per-round state — the
 // assignment, the failed/shuffle/shrink buffers, the dedup key — is reused
 // across rounds; the only allocations are one copy per unique detected RG.
-func sampleRounds(g *faultgraph.Graph, basics []faultgraph.NodeID, probs []float64, seed int64, rounds int, shrink bool) []RG {
+// On context cancellation the worker abandons its remaining rounds and
+// returns early; the caller discards the partial family.
+func sampleRounds(ctx context.Context, g *faultgraph.Graph, basics []faultgraph.NodeID, probs []float64, seed int64, rounds int, shrink bool) []RG {
 	rng := rand.New(rand.NewSource(seed))
 	ev := g.NewEvaluator()
 	a := g.AcquireAssignment()
@@ -153,6 +175,9 @@ func sampleRounds(g *faultgraph.Graph, basics []faultgraph.NodeID, probs []float
 	seen := make(map[string]struct{})
 	var out []RG
 	for round := 0; round < rounds; round++ {
+		if round%sampleCheckInterval == 0 && ctx.Err() != nil {
+			return nil
+		}
 		failed = failed[:0]
 		for i, id := range basics {
 			f := rng.Float64() < probs[i]

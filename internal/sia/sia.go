@@ -5,6 +5,7 @@
 package sia
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -62,7 +63,7 @@ func (s *GraphSpec) wantKind(k deps.Kind) bool {
 //     each route through an OR gate;
 //  6. software components join through OR gates, each component an OR over
 //     its packages.
-func BuildGraph(db *depdb.DB, spec GraphSpec) (*faultgraph.Graph, error) {
+func BuildGraph(db depdb.Reader, spec GraphSpec) (*faultgraph.Graph, error) {
 	if len(spec.Servers) == 0 {
 		return nil, fmt.Errorf("sia: deployment %q has no servers", spec.Deployment)
 	}
@@ -133,7 +134,10 @@ func BuildGraph(db *depdb.DB, spec GraphSpec) (*faultgraph.Graph, error) {
 				for _, p := range sw.Dep {
 					pkgNodes = append(pkgNodes, basic(p))
 				}
-				swNodes = append(swNodes, b.Gate(sw.Pgm+" fails", faultgraph.OR, pkgNodes...))
+				// Qualify by server like every other gate: the same
+				// program running on two redundant servers is distinct
+				// failure events (different hosts, same package set).
+				swNodes = append(swNodes, b.Gate(srv+" "+sw.Pgm+" fails", faultgraph.OR, pkgNodes...))
 			}
 			if len(swNodes) > 0 {
 				children = append(children, b.Gate(srv+" software fails", faultgraph.OR, swNodes...))
@@ -212,18 +216,26 @@ type Options struct {
 // Audit runs the SIA pipeline on a built fault graph: determine RGs, rank,
 // score, and assemble the deployment's audit record.
 func Audit(g *faultgraph.Graph, spec GraphSpec, opts Options) (*report.DeploymentAudit, error) {
+	return AuditContext(context.Background(), g, spec, opts)
+}
+
+// AuditContext is Audit under a context: cancellation and deadlines reach
+// the RG determination loops (riskgroup.MinimalRGsContext and the parallel
+// Sampler workers), so a runaway enumeration aborts promptly with ctx.Err()
+// and no partial audit escapes.
+func AuditContext(ctx context.Context, g *faultgraph.Graph, spec GraphSpec, opts Options) (*report.DeploymentAudit, error) {
 	start := time.Now()
 	var fam []riskgroup.RG
 	var err error
 	switch opts.Algorithm {
 	case MinimalRG:
-		fam, err = riskgroup.MinimalRGs(g, riskgroup.MinimalOptions{MaxSets: opts.MaxSets, MaxSize: opts.MaxSize})
+		fam, err = riskgroup.MinimalRGsContext(ctx, g, riskgroup.MinimalOptions{MaxSets: opts.MaxSets, MaxSize: opts.MaxSize})
 	case FailureSampling:
 		rounds := opts.Rounds
 		if rounds == 0 {
 			rounds = 100_000
 		}
-		fam, err = riskgroup.Sampler{Rounds: rounds, Shrink: true, Seed: opts.Seed, Workers: opts.Workers}.Sample(g)
+		fam, err = riskgroup.Sampler{Rounds: rounds, Shrink: true, Seed: opts.Seed, Workers: opts.Workers}.SampleContext(ctx, g)
 	default:
 		return nil, fmt.Errorf("sia: unknown algorithm %v", opts.Algorithm)
 	}
@@ -286,7 +298,15 @@ func Audit(g *faultgraph.Graph, spec GraphSpec, opts Options) (*report.Deploymen
 // AuditDeployments builds and audits each alternative deployment and
 // returns a ranked report (CompareByFailureProb when probabilities are
 // available, CompareBySizeVector otherwise).
-func AuditDeployments(db *depdb.DB, title string, specs []GraphSpec, opts Options) (*report.Report, error) {
+func AuditDeployments(db depdb.Reader, title string, specs []GraphSpec, opts Options) (*report.Report, error) {
+	return AuditDeploymentsContext(context.Background(), db, title, specs, opts)
+}
+
+// AuditDeploymentsContext is AuditDeployments under a context; see
+// AuditContext for the cancellation semantics. db is any depdb.Reader — the
+// audit service passes an immutable depdb.Snapshot so jobs never contend
+// with writers.
+func AuditDeploymentsContext(ctx context.Context, db depdb.Reader, title string, specs []GraphSpec, opts Options) (*report.Report, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sia: no deployments to audit")
 	}
@@ -296,7 +316,7 @@ func AuditDeployments(db *depdb.DB, title string, specs []GraphSpec, opts Option
 		if err != nil {
 			return nil, err
 		}
-		audit, err := Audit(g, spec, opts)
+		audit, err := AuditContext(ctx, g, spec, opts)
 		if err != nil {
 			return nil, fmt.Errorf("sia: auditing %q: %w", spec.Deployment, err)
 		}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the audit service: build the CLI, start
+# `indaas serve`, submit an audit over HTTP, poll it to completion, and diff
+# the JSON report (elapsed times zeroed) against the golden file shared with
+# the Go e2e test. Also asserts the second identical submission is a cache
+# hit. Requires curl and jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${SMOKE_ADDR:-127.0.0.1:7085}
+BASE="http://$ADDR"
+GOLDEN=internal/auditd/testdata/e2e_report_golden.json
+TMP=$(mktemp -d)
+SERVE_PID=
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/indaas" ./cmd/indaas
+"$TMP/indaas" serve -listen "$ADDR" &
+SERVE_PID=$!
+
+for _ in $(seq 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null
+
+# Submit, long-poll to completion, fetch the report.
+ID=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @scripts/smoke_request.json "$BASE/v1/audits" | jq -r .id)
+STATE=$(curl -sf "$BASE/v1/audits/$ID?wait=30s" | jq -r .state)
+if [ "$STATE" != done ]; then
+    echo "smoke: job $ID ended in state $STATE" >&2
+    curl -s "$BASE/v1/audits/$ID" >&2
+    exit 1
+fi
+curl -sf "$BASE/v1/audits/$ID/report" > "$TMP/report.json"
+diff <(jq -S '.audits[].elapsed_ns = 0' "$TMP/report.json") <(jq -S . "$GOLDEN")
+
+# An identical resubmission must be answered from the result cache.
+CACHED=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @scripts/smoke_request.json "$BASE/v1/audits" | jq -r '.cached == true and .state == "done"')
+if [ "$CACHED" != true ]; then
+    echo "smoke: identical resubmission was not a cache hit" >&2
+    exit 1
+fi
+curl -sf "$BASE/metrics" | grep -q '^auditd_cache_hits_total 1$'
+
+echo "smoke OK: report matches golden, cache hit confirmed"
