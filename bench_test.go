@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"indaas/internal/exp"
 	"indaas/internal/faultgraph"
 	"indaas/internal/pia"
+	"indaas/internal/placement"
 	"indaas/internal/psi"
 	"indaas/internal/ranking"
 	"indaas/internal/riskgroup"
@@ -226,6 +228,66 @@ func BenchmarkFig7FullSampling(b *testing.B) {
 					b.Fatal("no RGs detected")
 				}
 			}
+		})
+	}
+}
+
+// benchPlacementDB builds an n-server pool for placement search: two
+// servers per ToR, redundant cores, disks drawn from four shared batches —
+// enough correlation structure that deployments genuinely differ.
+func benchPlacementDB(b *testing.B, n int) (*depdb.DB, []string) {
+	b.Helper()
+	db := depdb.New()
+	nodes := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("srv%03d", i+1)
+		tor := fmt.Sprintf("ToR%d", i/2+1)
+		if err := db.Put(
+			deps.NewNetwork(name, "Internet", tor, "Core1"),
+			deps.NewNetwork(name, "Internet", tor, "Core2"),
+			deps.NewHardware(name, "Disk", fmt.Sprintf("batch-%d", i%4)),
+		); err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = name
+	}
+	return db, nodes
+}
+
+// BenchmarkPlacementSearch times the deployment-space search per strategy —
+// the cost of one /v1/recommend job. The custom metric is candidate audits
+// per second: how fast the batch-parallel evaluator shards fault-graph
+// builds + minimal-RG runs across the worker pool.
+func BenchmarkPlacementSearch(b *testing.B) {
+	cases := []struct {
+		strategy placement.Strategy
+		n, r     int
+	}{
+		{placement.Exact, 12, 3},  // 220 candidates, the oracle regime
+		{placement.Greedy, 48, 4}, // 4 rounds × ≤48 marginal audits
+		{placement.Beam, 48, 4},   // width 12 over the same pool
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("strategy=%s/n=%d/r=%d", tc.strategy, tc.n, tc.r)
+		b.Run(name, func(b *testing.B) {
+			db, nodes := benchPlacementDB(b, tc.n)
+			req := placement.Request{
+				Nodes: nodes, Replicas: tc.r, Strategy: tc.strategy, TopK: 3,
+			}
+			b.ResetTimer()
+			evaluated := 0
+			for i := 0; i < b.N; i++ {
+				res, err := placement.Search(context.Background(), db, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Top) == 0 {
+					b.Fatal("no recommendation")
+				}
+				evaluated = res.Evaluated
+			}
+			b.ReportMetric(float64(evaluated), "audits/op")
+			b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "audits/sec")
 		})
 	}
 }

@@ -27,6 +27,11 @@
 //	    Run the always-on audit service: an HTTP/JSON API that queues audit
 //	    jobs on a bounded worker pool and deduplicates identical audits
 //	    through a content-addressed result cache (see internal/auditd).
+//
+//	indaas recommend -deps deps.xml -replicas 2 [-strategy exact|greedy|beam]
+//	    Search "choose r of n" deployments for the most independent replica
+//	    placements (see internal/placement); -server pushes the search to a
+//	    running audit service's /v1/recommend endpoint instead.
 package main
 
 import (
@@ -66,6 +71,8 @@ func main() {
 		err = cmdPSOP(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "recommend":
+		err = cmdRecommend(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -81,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend> [flags]
 run "indaas <subcommand> -h" for the subcommand's flags`)
 }
 

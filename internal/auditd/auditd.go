@@ -6,10 +6,12 @@
 // Lifecycle of a job:
 //
 //	POST /v1/audits                submit → {id, state, cache_key}
+//	POST /v1/recommend             submit a placement recommendation job
 //	GET  /v1/audits/{id}           poll (or long-poll with ?wait=5s)
-//	GET  /v1/audits/{id}/report    fetch the finished report
+//	GET  /v1/audits/{id}/report    fetch the finished report/recommendation
 //	DELETE /v1/audits/{id}         cancel; worker goroutines are released
-//	GET  /v1/cache/{key}           content-addressed report lookup
+//	POST /v1/depdb                 ingest dependency records → fingerprint
+//	GET  /v1/cache/{key}           content-addressed result lookup
 //	GET  /metrics                  queue depth, hit rate, worker utilization
 //
 // Work is deduplicated twice: completed reports live in a content-addressed
@@ -46,8 +48,9 @@ type Config struct {
 	CacheEntries int
 	// DB is an optional preloaded dependency database, audited when a
 	// request carries no inline records. Writers may keep inserting while
-	// the service runs: each job audits the registered snapshot current at
-	// submission time.
+	// the service runs — /v1/depdb ingests land here too (a server started
+	// without a DB creates one on first ingest): each job audits the
+	// registered snapshot current at submission time.
 	DB *depdb.DB
 	// DefaultTimeout caps each job's run time — measured from the moment a
 	// worker starts its computation, so queue wait does not count — when
@@ -87,14 +90,14 @@ const (
 )
 
 // computation is one unit of queued work; several coalesced jobs may wait
-// on it.
+// on it. run is the actual workload — an audit or a placement
+// recommendation — so the queue, worker pool, cache and cancellation
+// plumbing are shared across job kinds.
 type computation struct {
 	key     string
 	ctx     context.Context
 	cancel  context.CancelFunc
-	db      depdb.Reader
-	specs   []sia.GraphSpec
-	opts    sia.Options
+	run     func(ctx context.Context) (any, error)
 	jobs    []*job // attached jobs, including canceled ones
 	refs    int    // attached jobs still interested in the result
 	running bool   // a worker picked it up (guarded by Server.mu)
@@ -112,9 +115,9 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	err       error
-	rep       *report.Report // per-job copy: own Title, shared Audits
-	done      chan struct{}  // closed when the job reaches a terminal state
-	comp      *computation   // nil once terminal or when served from cache
+	result    any           // per-job copy: own Title, shared payload
+	done      chan struct{} // closed when the job reaches a terminal state
+	comp      *computation  // nil once terminal or when served from cache
 	// timeout is this job's run-time cap; the watchdog timer is armed when
 	// the job enters StateRunning (also for jobs coalescing onto an
 	// already-running computation), so each coalesced job keeps its own
@@ -138,6 +141,7 @@ type Server struct {
 	m       metrics
 
 	mu       sync.Mutex
+	db       *depdb.DB // cfg.DB, or created lazily by the first ingest
 	jobs     map[string]*job
 	order    []string // job IDs in submission order
 	inflight map[string]*computation
@@ -156,6 +160,7 @@ func New(cfg Config) *Server {
 		baseCtx:  ctx,
 		stop:     cancel,
 		queue:    make(chan *computation, cfg.QueueDepth),
+		db:       cfg.DB,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*computation),
 		cache:    newResultCache(cfg.CacheEntries),
@@ -174,33 +179,59 @@ func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, &statusErr{code: 400, err: err}
 	}
-	var db depdb.Reader
-	switch {
-	case len(req.Records) > 0:
+	db, fp, err := s.resolveDB(req.Records)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	n.DBFingerprint = fp
+	specs := n.specs()
+	run := func(ctx context.Context) (any, error) {
+		rep, err := sia.AuditDeploymentsContext(ctx, db, "", specs, opts)
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	return s.enqueue(n.key(), req.Title, req.TimeoutMS, run)
+}
+
+// resolveDB picks the dependency database a request runs against: a fresh
+// store built from inline records, or a snapshot of the server's database
+// (preloaded via Config.DB or grown through /v1/depdb ingests). The
+// returned fingerprint content-addresses the chosen view.
+func (s *Server) resolveDB(records []RecordWire) (depdb.Reader, string, error) {
+	if len(records) > 0 {
 		fresh := depdb.New()
-		for i, w := range req.Records {
+		for i, w := range records {
 			r, err := w.Record()
 			if err != nil {
-				return JobStatus{}, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+				return nil, "", &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
 			}
 			if err := fresh.Put(r); err != nil {
-				return JobStatus{}, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+				return nil, "", &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
 			}
 		}
 		snap := fresh.Snapshot()
-		n.DBFingerprint = snap.Fingerprint()
-		db = snap
-	case s.cfg.DB != nil:
-		snap := s.cfg.DB.Snapshot()
-		n.DBFingerprint = snap.Fingerprint()
-		db = snap
-	default:
-		return JobStatus{}, &statusErr{code: 400, err: errors.New("request has no records and the server has no preloaded database")}
+		return snap, snap.Fingerprint(), nil
 	}
-	key := n.key()
+	s.mu.Lock()
+	db := s.db
+	s.mu.Unlock()
+	if db == nil {
+		return nil, "", &statusErr{code: 400, err: errors.New("request has no records and the server has no preloaded database")}
+	}
+	snap := db.Snapshot()
+	return snap, snap.Fingerprint(), nil
+}
+
+// enqueue registers a job for the content-addressed computation key: a
+// cache hit finishes instantly, an identical in-flight computation absorbs
+// the job, and otherwise run is queued for the worker pool. Shared by audit
+// submissions and placement recommendations.
+func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx context.Context) (any, error)) (JobStatus, error) {
 	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
 	}
 
 	s.mu.Lock()
@@ -213,18 +244,18 @@ func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
 		key:       key,
-		title:     req.Title,
+		title:     title,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		timeout:   timeout,
 	}
 
-	if rep, ok := s.cache.get(key); ok {
+	if res, ok := s.cache.get(key); ok {
 		// Content-addressed hit: finish instantly, never touch the queue.
 		j.state = StateDone
 		j.cached = true
 		j.started, j.finished = j.submitted, j.submitted
-		j.rep = retitle(rep, j.title)
+		j.result = retitle(res, j.title)
 		close(j.done)
 		s.m.cacheHits.Add(1)
 	} else if comp := s.inflight[key]; comp != nil {
@@ -246,9 +277,7 @@ func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
 			key:    key,
 			ctx:    cctx,
 			cancel: cancel,
-			db:     db,
-			specs:  n.specs(),
-			opts:   opts,
+			run:    run,
 			jobs:   []*job{j},
 			refs:   1,
 		}
@@ -348,23 +377,23 @@ func (s *Server) runComputation(comp *computation) {
 
 	s.m.busyWorkers.Add(1)
 	s.m.computations.Add(1)
-	rep, err := sia.AuditDeploymentsContext(comp.ctx, comp.db, "", comp.specs, comp.opts)
+	res, err := comp.run(comp.ctx)
 	s.m.busyWorkers.Add(-1)
 
 	s.mu.Lock()
-	s.finishLocked(comp, rep, err)
+	s.finishLocked(comp, res, err)
 	s.mu.Unlock()
 }
 
-// finishLocked records a computation's outcome, caches successful reports,
+// finishLocked records a computation's outcome, caches successful results,
 // and settles every attached job. Caller holds s.mu.
-func (s *Server) finishLocked(comp *computation, rep *report.Report, err error) {
+func (s *Server) finishLocked(comp *computation, res any, err error) {
 	comp.cancel() // release the context's timer resources
 	if s.inflight[comp.key] == comp {
 		delete(s.inflight, comp.key)
 	}
-	if err == nil && rep != nil {
-		s.cache.put(comp.key, rep)
+	if err == nil && res != nil {
+		s.cache.put(comp.key, res)
 	}
 	now := time.Now()
 	for _, j := range comp.jobs {
@@ -379,7 +408,7 @@ func (s *Server) finishLocked(comp *computation, rep *report.Report, err error) 
 		switch {
 		case err == nil:
 			j.state = StateDone
-			j.rep = retitle(rep, j.title)
+			j.result = retitle(res, j.title)
 			s.m.completed.Add(1)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			j.state = StateCanceled
@@ -474,9 +503,10 @@ func (s *Server) WaitDone(ctx context.Context, id string, wait time.Duration) (J
 	return j.statusLocked(), nil
 }
 
-// Report returns a finished job's report. A 409 error means the job is not
-// done yet (or was canceled/failed).
-func (s *Server) Report(id string) (*report.Report, error) {
+// Result returns a finished job's payload — a *report.Report for audit
+// jobs, a *RecommendResponse for recommendation jobs. A 409 error means the
+// job is not done yet (or was canceled/failed).
+func (s *Server) Result(id string) (any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -486,18 +516,31 @@ func (s *Server) Report(id string) (*report.Report, error) {
 	if j.state != StateDone {
 		return nil, &statusErr{code: 409, err: fmt.Errorf("job %s is %s", id, j.state)}
 	}
-	return j.rep, nil
+	return j.result, nil
 }
 
-// Cached returns the cached report for a content-address, if present.
-func (s *Server) Cached(key string) (*report.Report, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rep, ok := s.cache.get(key)
+// Report returns a finished audit job's report; see Result.
+func (s *Server) Report(id string) (*report.Report, error) {
+	res, err := s.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := res.(*report.Report)
 	if !ok {
-		return nil, &statusErr{code: 404, err: fmt.Errorf("no cached report for %s", key)}
+		return nil, &statusErr{code: 409, err: fmt.Errorf("job %s is not an audit job", id)}
 	}
 	return rep, nil
+}
+
+// Cached returns the cached result for a content-address, if present.
+func (s *Server) Cached(key string) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.cache.get(key)
+	if !ok {
+		return nil, &statusErr{code: 404, err: fmt.Errorf("no cached result for %s", key)}
+	}
+	return res, nil
 }
 
 // Jobs lists every job's status in submission order.
@@ -517,19 +560,21 @@ func (s *Server) Stats() Stats {
 	entries := s.cache.len()
 	s.mu.Unlock()
 	return Stats{
-		Submitted:    s.m.submitted.Load(),
-		Completed:    s.m.completed.Load(),
-		Failed:       s.m.failed.Load(),
-		Canceled:     s.m.canceled.Load(),
-		CacheHits:    s.m.cacheHits.Load(),
-		Coalesced:    s.m.coalesced.Load(),
-		CacheMisses:  s.m.cacheMisses.Load(),
-		Rejected:     s.m.rejected.Load(),
-		Computations: s.m.computations.Load(),
-		BusyWorkers:  s.m.busyWorkers.Load(),
-		QueueDepth:   len(s.queue),
-		Workers:      s.cfg.Workers,
-		CacheEntries: entries,
+		Submitted:       s.m.submitted.Load(),
+		Completed:       s.m.completed.Load(),
+		Failed:          s.m.failed.Load(),
+		Canceled:        s.m.canceled.Load(),
+		CacheHits:       s.m.cacheHits.Load(),
+		Coalesced:       s.m.coalesced.Load(),
+		CacheMisses:     s.m.cacheMisses.Load(),
+		Rejected:        s.m.rejected.Load(),
+		Computations:    s.m.computations.Load(),
+		BusyWorkers:     s.m.busyWorkers.Load(),
+		QueueDepth:      len(s.queue),
+		Workers:         s.cfg.Workers,
+		CacheEntries:    entries,
+		Recommendations: s.m.recommendations.Load(),
+		IngestedRecords: s.m.ingestedRecords.Load(),
 	}
 }
 
@@ -587,12 +632,21 @@ func (j *job) statusLocked() JobStatus {
 	return st
 }
 
-// retitle shallow-copies a report with a per-job title; the Audits slice is
-// shared and treated as immutable once cached.
-func retitle(rep *report.Report, title string) *report.Report {
-	cp := *rep
-	cp.Title = title
-	return &cp
+// retitle shallow-copies a cached result with a per-job title; the payload
+// slices are shared and treated as immutable once cached.
+func retitle(res any, title string) any {
+	switch v := res.(type) {
+	case *report.Report:
+		cp := *v
+		cp.Title = title
+		return &cp
+	case *RecommendResponse:
+		cp := *v
+		cp.Title = title
+		return &cp
+	default:
+		return res
+	}
 }
 
 // statusErr pairs an error with the HTTP status it should map to.

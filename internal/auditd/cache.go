@@ -2,15 +2,14 @@ package auditd
 
 import (
 	"container/list"
-
-	"indaas/internal/report"
 )
 
-// resultCache is a bounded LRU of completed audit reports, content-addressed
-// by the canonical request hash. Cached reports are immutable: the server
-// hands out shallow per-job copies (fresh Title, shared Audits), never the
-// stored pointer's fields to mutate. Callers synchronize access (the server
-// uses its own mutex, which also covers the job table).
+// resultCache is a bounded LRU of completed job results (audit reports and
+// placement recommendations), content-addressed by the canonical request
+// hash. Cached results are immutable: the server hands out shallow per-job
+// copies (fresh Title, shared payload), never the stored pointer's fields to
+// mutate. Callers synchronize access (the server uses its own mutex, which
+// also covers the job table).
 type resultCache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
@@ -19,35 +18,35 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	rep *report.Report
+	res any
 }
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached report for key and marks it recently used.
-func (c *resultCache) get(key string) (*report.Report, bool) {
+// get returns the cached result for key and marks it recently used.
+func (c *resultCache) get(key string) (any, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).rep, true
+	return el.Value.(*cacheEntry).res, true
 }
 
-// put stores a completed report, evicting the least recently used entry
+// put stores a completed result, evicting the least recently used entry
 // beyond capacity.
-func (c *resultCache) put(key string, rep *report.Report) {
+func (c *resultCache) put(key string, res any) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).rep = rep
+		el.Value.(*cacheEntry).res = res
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -107,13 +107,81 @@ func (c *Client) WaitDone(ctx context.Context, id string) (JobStatus, error) {
 	}
 }
 
-// Report fetches a finished job's report.
+// Report fetches a finished audit job's report. Asking for a
+// recommendation job's result is an error rather than a silently
+// zero-valued report — the shared result endpoint serves both payloads.
 func (c *Client) Report(ctx context.Context, id string) (*report.Report, error) {
+	raw, err := c.result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if kind := resultKind(raw); kind == "recommendation" {
+		return nil, fmt.Errorf("auditd: job %s is a recommendation job; use RecommendResult", id)
+	}
 	var rep report.Report
-	if err := c.do(ctx, http.MethodGet, "/v1/audits/"+url.PathEscape(id)+"/report", nil, &rep); err != nil {
+	if err := json.Unmarshal(raw, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil
+}
+
+// result fetches a finished job's raw payload from the shared endpoint.
+func (c *Client) result(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/audits/"+url.PathEscape(id)+"/report", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// resultKind sniffs which job kind a result payload belongs to: audit
+// reports carry "audits", recommendations carry "rankings" + "strategy".
+func resultKind(raw json.RawMessage) string {
+	var probe struct {
+		Audits   json.RawMessage `json:"audits"`
+		Rankings json.RawMessage `json:"rankings"`
+		Strategy string          `json:"strategy"`
+	}
+	if json.Unmarshal(raw, &probe) != nil {
+		return ""
+	}
+	if probe.Audits == nil && (probe.Rankings != nil || probe.Strategy != "") {
+		return "recommendation"
+	}
+	return "audit"
+}
+
+// Recommend submits a placement recommendation job; poll it with Status or
+// WaitDone like any audit job and fetch the result with RecommendResult.
+func (c *Client) Recommend(ctx context.Context, req *RecommendRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/recommend", req, &st)
+	return st, err
+}
+
+// RecommendResult fetches a finished recommendation job's ranking; asking
+// for an audit job's result is an error (see Report).
+func (c *Client) RecommendResult(ctx context.Context, id string) (*RecommendResponse, error) {
+	raw, err := c.result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if kind := resultKind(raw); kind == "audit" {
+		return nil, fmt.Errorf("auditd: job %s is an audit job; use Report", id)
+	}
+	var res RecommendResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Ingest appends dependency records to the server's database and returns
+// the database's new canonical fingerprint.
+func (c *Client) Ingest(ctx context.Context, records []RecordWire) (IngestResponse, error) {
+	var resp IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/depdb", &IngestRequest{Records: records}, &resp)
+	return resp, err
 }
 
 // Cancel cancels a job (idempotent).

@@ -13,6 +13,8 @@ const maxRequestBody = 32 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/audits", s.handleSubmit)
+	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+	mux.HandleFunc("POST /v1/depdb", s.handleIngest)
 	mux.HandleFunc("GET /v1/audits", s.handleList)
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/audits/{id}/report", s.handleReport)
@@ -35,12 +37,21 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
+// decodeJSON parses a bounded, unknown-field-rejecting JSON body into v; on
+// failure it writes the 400 envelope and reports false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(v); err != nil {
 		writeJSON(w, 400, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	st, err := s.Submit(&req)
@@ -53,6 +64,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = 200 // cache hit: already answered
 	}
 	writeJSON(w, code, st)
+}
+
+// handleRecommend submits a placement recommendation job; the job lifecycle
+// (poll, result, cancel) runs through the shared /v1/audits/{id} endpoints.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	st, err := s.Recommend(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	code := 202
+	if st.State == StateDone {
+		code = 200 // cache hit: already answered
+	}
+	writeJSON(w, code, st)
+}
+
+// handleIngest appends dependency records to the server's database.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Ingest(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, resp)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -85,12 +129,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.Report(r.PathValue("id"))
+	res, err := s.Result(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, 200, rep)
+	writeJSON(w, 200, res)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,72 @@
+package auditd
+
+import (
+	"errors"
+	"fmt"
+
+	"indaas/internal/depdb"
+	"indaas/internal/deps"
+)
+
+// IngestRequest is the body of POST /v1/depdb: dependency records to append
+// to the server's database.
+type IngestRequest struct {
+	Records []RecordWire `json:"records"`
+}
+
+// IngestResponse acknowledges an ingest with the database's new canonical
+// fingerprint — the content-address component audits and recommendations
+// against the server database will carry, so a client can tell exactly
+// which data a later cached result was computed from.
+type IngestResponse struct {
+	// Added is the number of records stored by this request.
+	Added int `json:"added"`
+	// Total is the database's record count after the ingest.
+	Total int `json:"total"`
+	// Fingerprint is the canonical content hash of the database snapshot
+	// registered by this ingest.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Ingest validates and appends dependency records to the server's database,
+// registering a fresh snapshot. All records are stored or none. Jobs
+// submitted earlier keep auditing the snapshot they resolved at submission
+// time; jobs submitted after see the grown database (and a new cache-key
+// fingerprint).
+func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
+	if len(req.Records) == 0 {
+		return IngestResponse{}, &statusErr{code: 400, err: errors.New("ingest has no records")}
+	}
+	records := make([]deps.Record, 0, len(req.Records))
+	for i, w := range req.Records {
+		r, err := w.Record()
+		if err != nil {
+			return IngestResponse{}, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+		}
+		records = append(records, r)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return IngestResponse{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
+	}
+	if s.db == nil {
+		s.db = depdb.New()
+	}
+	db := s.db
+	s.mu.Unlock()
+
+	// Put is atomic (all records or none) and safe against concurrent
+	// snapshot readers; no need to hold the job-table lock across it.
+	if err := db.Put(records...); err != nil {
+		return IngestResponse{}, &statusErr{code: 400, err: err}
+	}
+	s.m.ingestedRecords.Add(int64(len(records)))
+	snap := db.Snapshot()
+	return IngestResponse{
+		Added:       len(records),
+		Total:       snap.Len(),
+		Fingerprint: snap.Fingerprint(),
+	}, nil
+}

@@ -19,6 +19,9 @@ type metrics struct {
 	rejected     atomic.Int64 // submissions refused (queue full / closing)
 	computations atomic.Int64 // computations actually run by workers
 	busyWorkers  atomic.Int64 // workers currently running a computation
+
+	recommendations atomic.Int64 // placement recommendation jobs accepted
+	ingestedRecords atomic.Int64 // dependency records accepted via /v1/depdb
 }
 
 // Stats is a point-in-time snapshot of the service counters, exported for
@@ -37,6 +40,9 @@ type Stats struct {
 	QueueDepth   int
 	Workers      int
 	CacheEntries int
+
+	Recommendations int64
+	IngestedRecords int64
 }
 
 // HitRate is the fraction of accepted jobs that did not need their own
@@ -65,6 +71,8 @@ func (s Stats) render(w io.Writer) {
 	counter("auditd_cache_coalesced_total", "Jobs attached to an identical in-flight computation.", s.Coalesced)
 	counter("auditd_cache_misses_total", "Jobs that enqueued their own computation.", s.CacheMisses)
 	counter("auditd_computations_total", "Computations executed by the worker pool.", s.Computations)
+	counter("auditd_recommendations_total", "Placement recommendation jobs accepted.", s.Recommendations)
+	counter("auditd_depdb_ingested_records_total", "Dependency records accepted via /v1/depdb.", s.IngestedRecords)
 	gauge("auditd_cache_hit_rate", "Fraction of jobs served without a dedicated computation.", s.HitRate())
 	gauge("auditd_cache_entries", "Reports currently in the result cache.", s.CacheEntries)
 	gauge("auditd_queue_depth", "Computations waiting for a worker.", s.QueueDepth)

@@ -227,9 +227,15 @@ func (n *normalized) specs() []sia.GraphSpec {
 // key derives the content address: the SHA-256 of the canonical JSON of the
 // normalized request (which embeds the DepDB snapshot fingerprint).
 func (n *normalized) key() string {
-	blob, err := json.Marshal(n)
+	return canonicalKey(n)
+}
+
+// canonicalKey hashes a normalized request form (audit or recommendation)
+// into its content address.
+func canonicalKey(v any) string {
+	blob, err := json.Marshal(v)
 	if err != nil {
-		// normalized contains only plain data; Marshal cannot fail.
+		// normalized forms contain only plain data; Marshal cannot fail.
 		panic(fmt.Sprintf("auditd: canonical marshal: %v", err))
 	}
 	sum := sha256.Sum256(blob)

@@ -1,0 +1,225 @@
+package auditd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSubmitNormalizeErrors pins every rejection path of
+// SubmitRequest.normalize — previously only reachable through happy-path
+// e2e runs — with the message fragment a client would see.
+func TestSubmitNormalizeErrors(t *testing.T) {
+	valid := func() *SubmitRequest {
+		return &SubmitRequest{
+			Records:     testRecords(),
+			Deployments: []DeploymentWire{{Name: "d", Servers: []string{"s1", "s2"}}},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*SubmitRequest)
+		wantErr string
+	}{
+		{
+			name:    "no deployments",
+			mutate:  func(r *SubmitRequest) { r.Deployments = nil },
+			wantErr: "no deployments",
+		},
+		{
+			name:    "deployment without name",
+			mutate:  func(r *SubmitRequest) { r.Deployments[0].Name = "" },
+			wantErr: "needs a name",
+		},
+		{
+			name:    "deployment without servers",
+			mutate:  func(r *SubmitRequest) { r.Deployments[0].Servers = nil },
+			wantErr: "at least one server",
+		},
+		{
+			name:    "needed negative",
+			mutate:  func(r *SubmitRequest) { r.Deployments[0].Needed = -1 },
+			wantErr: "out of range",
+		},
+		{
+			name:    "needed exceeds servers",
+			mutate:  func(r *SubmitRequest) { r.Deployments[0].Needed = 3 },
+			wantErr: "out of range",
+		},
+		{
+			name:    "bad kind",
+			mutate:  func(r *SubmitRequest) { r.Deployments[0].Kinds = []string{"router"} },
+			wantErr: "kind",
+		},
+		{
+			name:    "bad algorithm",
+			mutate:  func(r *SubmitRequest) { r.Algorithm = "quantum" },
+			wantErr: `unknown algorithm "quantum"`,
+		},
+		{
+			name:    "failure prob above one",
+			mutate:  func(r *SubmitRequest) { r.FailureProb = 1.5 },
+			wantErr: "out of [0,1]",
+		},
+		{
+			name:    "failure prob negative",
+			mutate:  func(r *SubmitRequest) { r.FailureProb = -0.1 },
+			wantErr: "out of [0,1]",
+		},
+		{
+			name:    "negative score_top_n",
+			mutate:  func(r *SubmitRequest) { r.ScoreTopN = -1 },
+			wantErr: "negative option",
+		},
+		{
+			name:    "negative max_sets",
+			mutate:  func(r *SubmitRequest) { r.MaxSets = -1 },
+			wantErr: "negative option",
+		},
+		{
+			name:    "negative max_size",
+			mutate:  func(r *SubmitRequest) { r.MaxSize = -1 },
+			wantErr: "negative option",
+		},
+		{
+			name:    "negative rounds",
+			mutate:  func(r *SubmitRequest) { r.Rounds = -5 },
+			wantErr: "negative option",
+		},
+		{
+			name:    "negative timeout",
+			mutate:  func(r *SubmitRequest) { r.TimeoutMS = -1 },
+			wantErr: "negative option",
+		},
+		{
+			name: "negative sampler workers",
+			mutate: func(r *SubmitRequest) {
+				r.Algorithm = "failure-sampling"
+				r.SamplerWorkers = -2
+			},
+			wantErr: "negative option",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := valid()
+			tc.mutate(req)
+			if _, _, err := req.normalize(); err == nil {
+				t.Fatal("normalize accepted an invalid request")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The valid fixture itself must normalize, with minimal-rg defaults.
+	n, opts, err := valid().normalize()
+	if err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if n.Algorithm != "minimal-rg" || opts.Rounds != 0 || opts.Seed != 0 || opts.Workers != 0 {
+		t.Fatalf("minimal-rg normalization leaked sampler knobs: %+v / %+v", n, opts)
+	}
+}
+
+// TestSubmitNormalizeSamplingDefaults: the sampler path applies the
+// documented host-independent defaults explicitly so they land in the key.
+func TestSubmitNormalizeSamplingDefaults(t *testing.T) {
+	req := &SubmitRequest{
+		Records:     testRecords(),
+		Deployments: []DeploymentWire{{Name: "d", Servers: []string{"s1"}}},
+		Algorithm:   "failure-sampling",
+	}
+	n, opts, err := req.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Rounds != 100_000 || n.Seed != 1 || n.Workers != 1 {
+		t.Fatalf("sampling defaults not applied: %+v", n)
+	}
+	if opts.Rounds != 100_000 || opts.Seed != 1 || opts.Workers != 1 {
+		t.Fatalf("sia options diverge from canonical form: %+v", opts)
+	}
+}
+
+// TestSubmitNormalizeCanonicalKinds: kind lists sort into one canonical
+// order so permutations share a cache key.
+func TestSubmitNormalizeCanonicalKinds(t *testing.T) {
+	mk := func(kinds ...string) *SubmitRequest {
+		return &SubmitRequest{
+			Records:     testRecords(),
+			Deployments: []DeploymentWire{{Name: "d", Servers: []string{"s1", "s2"}, Kinds: kinds}},
+		}
+	}
+	a, _, err := mk("software", "network").normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := mk("network", "software").normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.key() != b.key() {
+		t.Fatal("kind order must not fragment the cache key")
+	}
+}
+
+// TestRecordWireErrors: malformed records are rejected at conversion, not
+// deep inside a graph build.
+func TestRecordWireErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		w    RecordWire
+	}{
+		{"unknown kind", RecordWire{Kind: "router", Src: "a"}},
+		{"empty kind", RecordWire{}},
+		{"network with empty route element", RecordWire{Kind: "network", Src: "a", Dst: "b", Route: []string{""}}},
+		{"network without src", RecordWire{Kind: "network", Dst: "b", Route: []string{"x"}}},
+		{"hardware without dep", RecordWire{Kind: "hardware", HW: "a", Type: "Disk"}},
+		{"software without pgm", RecordWire{Kind: "software", HW: "a", Deps: []string{"libc6"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.w.Record(); err == nil {
+				t.Fatalf("Record() accepted %+v", tc.w)
+			}
+		})
+	}
+}
+
+// TestRecommendNormalizeErrors covers the recommendation request's
+// rejection paths the same way.
+func TestRecommendNormalizeErrors(t *testing.T) {
+	valid := func() *RecommendRequest {
+		return &RecommendRequest{
+			Records:  testRecords(),
+			Nodes:    []string{"s1", "s2"},
+			Replicas: 2,
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*RecommendRequest)
+		wantErr string
+	}{
+		{"zero replicas", func(r *RecommendRequest) { r.Replicas = 0 }, "replicas"},
+		{"bad strategy", func(r *RecommendRequest) { r.Strategy = "magic" }, "strategy"},
+		{"bad kind", func(r *RecommendRequest) { r.Kinds = []string{"router"} }, "kind"},
+		{"bad algorithm", func(r *RecommendRequest) { r.Algorithm = "quantum" }, "algorithm"},
+		{"failure prob out of range", func(r *RecommendRequest) { r.FailureProb = 2 }, "out of [0,1]"},
+		{"negative top_k", func(r *RecommendRequest) { r.TopK = -1 }, "negative option"},
+		{"negative beam width", func(r *RecommendRequest) { r.BeamWidth = -1 }, "negative option"},
+		{"negative workers", func(r *RecommendRequest) { r.Workers = -1 }, "negative option"},
+		{"negative sampler workers", func(r *RecommendRequest) { r.SamplerWorkers = -1 }, "negative option"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := valid()
+			tc.mutate(req)
+			if _, _, err := req.normalize(); err == nil {
+				t.Fatal("normalize accepted an invalid request")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package cloudsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"indaas/internal/depdb"
+	"indaas/internal/deps"
+	"indaas/internal/placement"
+	"indaas/internal/sia"
+)
+
+// IndependenceScheduler places VMs by delegating the host choice to the
+// placement engine: every candidate host is modeled as a hypothetical
+// deployment of the VM's service group, the group's dependency records are
+// synthesized into a scratch DepDB, and the engine's exact search ranks the
+// candidates by independence. Where the paper's §6.2.2 workflow audits a
+// deployment *after* the fact and suggests a migration, this scheduler runs
+// the same audit *before* committing the VM — correlated placements like
+// the Fig. 6b double-placement on Server2 never happen.
+//
+// Anti-affinity (the fix §6.2.2 motivates) only knows "not the same host";
+// the independence search additionally avoids shared switches and any other
+// dependency the records expose.
+type IndependenceScheduler struct {
+	Cloud *Cloud
+	// Workers bounds the per-decision scoring parallelism
+	// (0 = one per CPU); the choice never affects which host wins.
+	Workers int
+}
+
+// probeSep joins a VM name and a candidate host into a probe subject. The
+// VM's real dependency records never contain it, so probes cannot collide
+// with placed VMs.
+const probeSep = "@"
+
+// Place creates the VM on the most independent host for its group and
+// returns the placed VM. The decision is deterministic: among hosts the
+// engine scores identically, the least loaded wins (so symmetric clouds
+// still balance like the least-loaded policy), then lexicographic order.
+func (s *IndependenceScheduler) Place(vmName, group string) (VM, error) {
+	return s.PlaceContext(context.Background(), vmName, group)
+}
+
+// PlaceContext is Place under a context; the candidate audits abort
+// promptly when it is canceled.
+func (s *IndependenceScheduler) PlaceContext(ctx context.Context, vmName, group string) (VM, error) {
+	c := s.Cloud
+	if c == nil {
+		return VM{}, fmt.Errorf("cloudsim: scheduler has no cloud")
+	}
+	if _, dup := c.vms[vmName]; dup {
+		return VM{}, fmt.Errorf("cloudsim: duplicate VM %q", vmName)
+	}
+	host, err := s.recommendHost(ctx, vmName, group)
+	if err != nil {
+		return VM{}, err
+	}
+	return c.placeOn(vmName, group, host)
+}
+
+// recommendHost builds the hypothetical-deployment database and asks the
+// placement engine which host keeps the group most independent.
+func (s *IndependenceScheduler) recommendHost(ctx context.Context, vmName, group string) (string, error) {
+	c := s.Cloud
+	// The group's already-placed members are fixed deployment nodes.
+	var members []string
+	for name, vm := range c.vms {
+		if group != "" && vm.Group == group {
+			members = append(members, name)
+		}
+	}
+	sort.Strings(members)
+
+	// A scratch cloud replays the members on their real hosts and adds one
+	// probe VM per candidate host; its records form the search database.
+	scratch, err := New(c.Servers, c.Cores, 1)
+	if err != nil {
+		return "", err
+	}
+	db := depdb.New()
+	addRecords := func(vm string) error {
+		records, err := scratch.DependencyRecords(vm)
+		if err != nil {
+			return err
+		}
+		return db.Put(records...)
+	}
+	for _, m := range members {
+		if _, err := scratch.PlaceOn(m, c.vms[m].Host); err != nil {
+			return "", err
+		}
+		if err := addRecords(m); err != nil {
+			return "", err
+		}
+	}
+	probes := make([]string, 0, len(c.Servers))
+	for _, srv := range c.Servers {
+		probe := vmName + probeSep + srv.Name
+		if _, err := scratch.PlaceOn(probe, srv.Name); err != nil {
+			return "", err
+		}
+		if err := addRecords(probe); err != nil {
+			return "", err
+		}
+		probes = append(probes, probe)
+	}
+
+	// Choose 1 of the probes alongside the fixed members: exact search,
+	// network + hardware kinds (the §6.2.2 audit's scope). The full ranking
+	// comes back so load can break score ties below.
+	res, err := placement.Search(ctx, db, placement.Request{
+		Nodes:    probes,
+		Fixed:    members,
+		Replicas: len(members) + 1,
+		TopK:     len(probes),
+		Strategy: placement.Exact,
+		Workers:  s.Workers,
+		Kinds:    []deps.Kind{deps.KindNetwork, deps.KindHardware},
+		Audit:    sia.Options{Algorithm: sia.MinimalRG, RankMode: sia.RankBySize},
+	})
+	if err != nil {
+		return "", err
+	}
+	// Among the hosts tied with the independence optimum, prefer the least
+	// loaded (then lexicographic): a symmetric cloud should still balance.
+	top := res.Top[0].Score
+	bestHost, bestLoad := "", 0
+	for _, r := range res.Top {
+		if r.Score.Less(top) || top.Less(r.Score) {
+			break // the ranking is sorted; past the tie block
+		}
+		host, err := s.probeHost(r.Nodes, vmName)
+		if err != nil {
+			return "", err
+		}
+		load := c.load[host]
+		if bestHost == "" || load < bestLoad || (load == bestLoad && host < bestHost) {
+			bestHost, bestLoad = host, load
+		}
+	}
+	return bestHost, nil
+}
+
+// probeHost extracts the candidate host from a recommended deployment's
+// probe node.
+func (s *IndependenceScheduler) probeHost(nodes []string, vmName string) (string, error) {
+	prefix := vmName + probeSep
+	for _, node := range nodes {
+		if strings.HasPrefix(node, prefix) {
+			return strings.TrimPrefix(node, prefix), nil
+		}
+	}
+	return "", fmt.Errorf("cloudsim: recommendation %v contains no probe for %q", nodes, vmName)
+}

@@ -1,0 +1,122 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// fig6bPreload replays the §6.2.2 pre-existing load that leaves Server2
+// idle and makes the least-loaded policy co-locate the Riak replicas.
+func fig6bPreload(t *testing.T, c *Cloud) {
+	t.Helper()
+	for _, pin := range []struct{ vm, host string }{
+		{"web-vm1", "Server1"}, {"web-vm2", "Server1"},
+		{"batch-vm3", "Server3"}, {"batch-vm4", "Server3"},
+		{"db-vm5", "Server4"}, {"db-vm6", "Server4"},
+	} {
+		if _, err := c.PlaceOn(pin.vm, pin.host); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIndependenceSchedulerAvoidsCorrelatedPlacement: on the Fig. 6b
+// substrate, where least-loaded puts both replicas on Server2, the
+// independence scheduler spreads them across hosts AND switches.
+func TestIndependenceSchedulerAvoidsCorrelatedPlacement(t *testing.T) {
+	cloud := FourServerLab(1)
+	fig6bPreload(t, cloud)
+	sched := &IndependenceScheduler{Cloud: cloud}
+
+	vm7, err := sched.Place("VM7", "riak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm8, err := sched.Place("VM8", "riak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm7.Host == vm8.Host {
+		t.Fatalf("replicas co-located on %s", vm7.Host)
+	}
+	torOf := func(host string) string {
+		srv, ok := cloud.server(host)
+		if !ok {
+			t.Fatalf("unknown host %s", host)
+		}
+		return srv.ToR
+	}
+	if torOf(vm7.Host) == torOf(vm8.Host) {
+		t.Fatalf("replicas share switch %s (hosts %s/%s) — anti-affinity would allow this, independence must not",
+			torOf(vm7.Host), vm7.Host, vm8.Host)
+	}
+	// With all hosts scoring equal for the first replica, the load
+	// tie-break picks idle Server2; the second crosses the switch — the
+	// §6.2.2 report's own suggested pair, reached without any migration.
+	if vm7.Host != "Server2" || vm8.Host != "Server3" {
+		t.Fatalf("placed %s/%s, want the paper's Server2/Server3", vm7.Host, vm8.Host)
+	}
+	// The group metadata survives for later scheduling decisions.
+	if got, _ := cloud.VMOf("VM8"); got.Group != "riak" {
+		t.Fatalf("group lost: %+v", got)
+	}
+}
+
+// TestIndependenceSchedulerDeterminism: the decision is a pure function of
+// cloud state, regardless of scoring parallelism.
+func TestIndependenceSchedulerDeterminism(t *testing.T) {
+	var ref [2]string
+	for i, workers := range []int{1, 4} {
+		cloud := FourServerLab(1)
+		fig6bPreload(t, cloud)
+		sched := &IndependenceScheduler{Cloud: cloud, Workers: workers}
+		vm7, err := sched.Place("VM7", "riak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm8, err := sched.Place("VM8", "riak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = [2]string{vm7.Host, vm8.Host}
+			continue
+		}
+		if got := [2]string{vm7.Host, vm8.Host}; got != ref {
+			t.Fatalf("workers=%d placed %v, workers=1 placed %v", workers, got, ref)
+		}
+	}
+}
+
+// TestIndependenceSchedulerUngrouped: a group-less VM still places (a
+// 1-replica search over all hosts).
+func TestIndependenceSchedulerUngrouped(t *testing.T) {
+	cloud := FourServerLab(1)
+	sched := &IndependenceScheduler{Cloud: cloud}
+	vm, err := sched.Place("solo", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cloud.server(vm.Host); !ok {
+		t.Fatalf("placed on unknown host %q", vm.Host)
+	}
+	if _, err := sched.Place("solo", ""); err == nil {
+		t.Fatal("duplicate VM must be rejected")
+	}
+}
+
+// TestIndependenceSchedulerCancellation: a canceled context aborts the
+// decision instead of committing a placement.
+func TestIndependenceSchedulerCancellation(t *testing.T) {
+	cloud := FourServerLab(1)
+	sched := &IndependenceScheduler{Cloud: cloud}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sched.PlaceContext(ctx, "VM7", "riak"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, ok := cloud.VMOf("VM7"); ok {
+		t.Fatal("canceled placement must not commit")
+	}
+}

@@ -1,0 +1,122 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// searchExact scores every choose-(r−|Fixed|) combination of the pool — the
+// brute-force oracle the heuristic strategies are differentially tested
+// against. The whole batch fans out across the evaluator's worker pool.
+func searchExact(ctx context.Context, e *evaluator, req *Request) ([]Ranked, error) {
+	choose := req.Replicas - len(req.Fixed)
+	var sets [][]string
+	combo := make([]string, 0, choose)
+	var emit func(start int)
+	emit = func(start int) {
+		if len(combo) == choose {
+			sets = append(sets, sortedCopy(append(append([]string(nil), req.Fixed...), combo...)))
+			return
+		}
+		// Prune: not enough nodes left to complete the combination.
+		for i := start; i <= len(req.Nodes)-(choose-len(combo)); i++ {
+			combo = append(combo, req.Nodes[i])
+			emit(i + 1)
+			combo = combo[:len(combo)-1]
+		}
+	}
+	emit(0)
+	scores, err := e.scoreBatch(ctx, sets)
+	if err != nil {
+		return nil, err
+	}
+	return rank(sets, scores, req.TopK), nil
+}
+
+// searchGreedy grows one deployment by marginal independence: each round
+// audits every single-node extension of the current partial deployment in
+// parallel and keeps the best. r−|Fixed| rounds of ≤n audits replace the
+// exact search's C(n, r); the price is vulnerability to local traps, which
+// Beam exists to soften.
+func searchGreedy(ctx context.Context, e *evaluator, req *Request) ([]Ranked, error) {
+	cur := sortedCopy(req.Fixed)
+	used := make(map[string]bool, req.Replicas)
+	for _, n := range cur {
+		used[n] = true
+	}
+	var last Score
+	for len(cur) < req.Replicas {
+		var exps [][]string
+		for _, n := range req.Nodes {
+			if !used[n] {
+				exps = append(exps, sortedCopy(append(append([]string(nil), cur...), n)))
+			}
+		}
+		scores, err := e.scoreBatch(ctx, exps)
+		if err != nil {
+			return nil, err
+		}
+		best := rank(exps, scores, 1)[0]
+		// Mark the node this round added as used.
+		for _, n := range best.Nodes {
+			if !used[n] {
+				used[n] = true
+				break
+			}
+		}
+		cur, last = best.Nodes, best.Score
+	}
+	return []Ranked{{Nodes: cur, Score: last}}, nil
+}
+
+// searchBeam keeps the BeamWidth best partial deployments per round,
+// expanding each by every unused pool node. Width 1 degenerates to greedy;
+// width ≥ C(n, r−|Fixed|) to exact. Expansions arising from different beams
+// deduplicate onto one audit via the evaluator's memo.
+func searchBeam(ctx context.Context, e *evaluator, req *Request) ([]Ranked, error) {
+	beam := [][]string{sortedCopy(req.Fixed)}
+	for size := len(req.Fixed); size < req.Replicas; size++ {
+		seen := make(map[string]bool)
+		var exps [][]string
+		for _, partial := range beam {
+			inSet := make(map[string]bool, len(partial))
+			for _, n := range partial {
+				inSet[n] = true
+			}
+			for _, n := range req.Nodes {
+				if inSet[n] {
+					continue
+				}
+				ext := sortedCopy(append(append([]string(nil), partial...), n))
+				if key := deploymentKey(ext); !seen[key] {
+					seen[key] = true
+					exps = append(exps, ext)
+				}
+			}
+		}
+		if len(exps) == 0 {
+			return nil, fmt.Errorf("placement: beam exhausted the pool at size %d", size)
+		}
+		// Keep expansions deterministic across map iteration orders.
+		sort.Slice(exps, func(i, j int) bool {
+			return deploymentKey(exps[i]) < deploymentKey(exps[j])
+		})
+		scores, err := e.scoreBatch(ctx, exps)
+		if err != nil {
+			return nil, err
+		}
+		ranked := rank(exps, scores, req.BeamWidth)
+		beam = beam[:0]
+		for _, r := range ranked {
+			beam = append(beam, r.Nodes)
+		}
+	}
+	// The final beam is complete deployments; re-rank (cache hits) for the
+	// top-k cut.
+	scores, err := e.scoreBatch(ctx, beam)
+	if err != nil {
+		return nil, err
+	}
+	return rank(beam, scores, req.TopK), nil
+}

@@ -3,13 +3,15 @@
 # `indaas serve`, submit an audit over HTTP, poll it to completion, and diff
 # the JSON report (elapsed times zeroed) against the golden file shared with
 # the Go e2e test. Also asserts the second identical submission is a cache
-# hit. Requires curl and jq.
+# hit, runs a placement recommendation through /v1/recommend against its own
+# golden file, and exercises the /v1/depdb ingest path. Requires curl and jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=${SMOKE_ADDR:-127.0.0.1:7085}
 BASE="http://$ADDR"
 GOLDEN=internal/auditd/testdata/e2e_report_golden.json
+RECOMMEND_GOLDEN=internal/auditd/testdata/e2e_recommend_golden.json
 TMP=$(mktemp -d)
 SERVE_PID=
 trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
@@ -45,4 +47,39 @@ if [ "$CACHED" != true ]; then
 fi
 curl -sf "$BASE/metrics" | grep -q '^auditd_cache_hits_total 1$'
 
-echo "smoke OK: report matches golden, cache hit confirmed"
+# Placement recommendation: submit the choose-2-of-6 search, poll it, and
+# diff the ranking (elapsed zeroed) against its golden file.
+RID=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @scripts/recommend_request.json "$BASE/v1/recommend" | jq -r .id)
+RSTATE=$(curl -sf "$BASE/v1/audits/$RID?wait=30s" | jq -r .state)
+if [ "$RSTATE" != done ]; then
+    echo "smoke: recommend job $RID ended in state $RSTATE" >&2
+    curl -s "$BASE/v1/audits/$RID" >&2
+    exit 1
+fi
+curl -sf "$BASE/v1/audits/$RID/report" > "$TMP/recommend.json"
+diff <(jq -S '.elapsed_ns = 0' "$TMP/recommend.json") <(jq -S . "$RECOMMEND_GOLDEN")
+
+# DepDB ingest: push the same records, then a record-less recommendation
+# over the ingested data must reproduce the same top-1 deployment.
+FP=$(jq '{records: .records}' scripts/recommend_request.json | \
+    curl -sf -X POST -H 'Content-Type: application/json' --data @- "$BASE/v1/depdb" | jq -r .fingerprint)
+if [ -z "$FP" ] || [ "$FP" = null ]; then
+    echo "smoke: ingest returned no fingerprint" >&2
+    exit 1
+fi
+IID=$(jq 'del(.records)' scripts/recommend_request.json | \
+    curl -sf -X POST -H 'Content-Type: application/json' --data @- "$BASE/v1/recommend" | jq -r .id)
+ISTATE=$(curl -sf "$BASE/v1/audits/$IID?wait=30s" | jq -r .state)
+if [ "$ISTATE" != done ]; then
+    echo "smoke: ingested recommend job $IID ended in state $ISTATE" >&2
+    exit 1
+fi
+TOP_INGESTED=$(curl -sf "$BASE/v1/audits/$IID/report" | jq -c '.rankings[0].nodes')
+TOP_INLINE=$(jq -c '.rankings[0].nodes' "$TMP/recommend.json")
+if [ "$TOP_INGESTED" != "$TOP_INLINE" ]; then
+    echo "smoke: ingested top-1 $TOP_INGESTED != inline top-1 $TOP_INLINE" >&2
+    exit 1
+fi
+
+echo "smoke OK: report + recommendation match goldens, cache hit and ingest confirmed"
