@@ -23,10 +23,16 @@
 //	    Supervise one P-SOP round across running proxies and print the
 //	    Jaccard similarity.
 //
-//	indaas serve -listen :7080 [-deps deps.xml]
+//	indaas serve -listen :7080 [-deps deps.xml] [-data-dir DIR]
 //	    Run the always-on audit service: an HTTP/JSON API that queues audit
 //	    jobs on a bounded worker pool and deduplicates identical audits
 //	    through a content-addressed result cache (see internal/auditd).
+//	    -data-dir makes the service durable: results and ingested DepDB
+//	    snapshots survive restarts (see internal/store).
+//
+//	indaas store {ls|gc|verify} -data-dir DIR
+//	    Inspect, garbage-collect or checksum-verify a `serve -data-dir`
+//	    persistent store while the daemon is stopped.
 //
 //	indaas recommend -deps deps.xml -replicas 2 [-strategy exact|greedy|beam]
 //	    Search "choose r of n" deployments for the most independent replica
@@ -73,6 +79,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "recommend":
 		err = cmdRecommend(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -88,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend|store> [flags]
 run "indaas <subcommand> -h" for the subcommand's flags`)
 }
 

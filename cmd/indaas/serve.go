@@ -13,10 +13,14 @@ import (
 
 	"indaas/internal/auditd"
 	"indaas/internal/depdb"
+	"indaas/internal/store"
 )
 
 // cmdServe runs the always-on audit service (§5 as a daemon): an HTTP/JSON
 // API over a bounded worker pool with a content-addressed result cache.
+// With -data-dir the service is durable: completed results and ingested
+// DepDB snapshots are written through to a crash-safe disk store, and a
+// restarted daemon serves them again without recomputation.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7080", "listen address")
@@ -26,6 +30,9 @@ func cmdServe(args []string) error {
 	cacheEntries := fs.Int("cache", 0, "result cache entries (0 = default 512, negative disables)")
 	timeout := fs.Duration("timeout", 0, "default per-job timeout (0 = none)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight jobs")
+	dataDir := fs.String("data-dir", "", "persistent store directory (empty = memory-only service)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "persisted result budget in bytes (0 = default 256 MiB, negative = unlimited)")
+	storeMaxAge := fs.Duration("store-max-age", 0, "evict persisted results older than this (0 = keep forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,12 +43,40 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *dataDir, MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if rec := st.Recovery(); rec.TruncatedBytes > 0 {
+			fmt.Printf("indaas: store recovery dropped a torn tail of %d bytes (%d entries intact)\n",
+				rec.TruncatedBytes, rec.Entries)
+		}
+		restored, err := auditd.RestoreDB(st)
+		if err != nil {
+			return fmt.Errorf("restoring persisted DepDB snapshot: %w", err)
+		}
+		if restored != nil {
+			// The persisted snapshot holds every record the daemon served
+			// when it last ingested — a superset of any -deps preload from
+			// that era — so it wins over the preload to keep fingerprints
+			// stable across restarts.
+			if db != nil {
+				fmt.Printf("indaas: persisted DepDB snapshot (%d records) supersedes -deps preload\n", restored.Len())
+			}
+			db = restored
+		}
+	}
 	svc := auditd.New(auditd.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DB:             db,
 		DefaultTimeout: *timeout,
+		Store:          st,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -50,11 +85,14 @@ func cmdServe(args []string) error {
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	detail := ""
 	if db != nil {
-		fmt.Printf("indaas audit service on http://%s (%d preloaded records)\n", ln.Addr(), db.Len())
-	} else {
-		fmt.Printf("indaas audit service on http://%s\n", ln.Addr())
+		detail = fmt.Sprintf(" (%d preloaded records)", db.Len())
 	}
+	if st != nil {
+		detail += fmt.Sprintf(" [durable: %d stored entries]", st.Len())
+	}
+	fmt.Printf("indaas audit service on http://%s%s\n", ln.Addr(), detail)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -34,6 +34,7 @@ import (
 	"indaas/internal/depdb"
 	"indaas/internal/report"
 	"indaas/internal/sia"
+	"indaas/internal/store"
 )
 
 // Config tunes the service.
@@ -63,6 +64,13 @@ type Config struct {
 	// /v1/cache/{key} while cached. Default 4096; negative disables
 	// eviction.
 	JobRetention int
+	// Store, when set, makes the service durable: completed results are
+	// written through to disk before their jobs report done, in-memory cache
+	// misses fall back to the disk tier, and /v1/depdb ingests persist the
+	// snapshot so a restarted daemon serves the same fingerprints (see
+	// RestoreDB). The caller owns the store's lifecycle and should close it
+	// after Shutdown returns.
+	Store *store.Store
 }
 
 func (c *Config) defaults() {
@@ -110,6 +118,7 @@ type job struct {
 	title     string
 	state     string
 	cached    bool
+	diskHit   bool // cached, and the copy came from the disk store
 	coalesced bool
 	submitted time.Time
 	started   time.Time
@@ -148,6 +157,13 @@ type Server struct {
 	cache    *resultCache
 	nextID   uint64
 	closed   bool
+
+	store *store.Store // cfg.Store; nil for a memory-only service
+	// ingestMu serializes ingests with their snapshot persistence so the
+	// durable current-snapshot pointer can never lag a concurrent ingest.
+	// snapFP (the persisted current snapshot's fingerprint) is guarded by it.
+	ingestMu sync.Mutex
+	snapFP   string
 }
 
 // New starts a service with cfg's worker pool running. Callers own the HTTP
@@ -164,6 +180,14 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*computation),
 		cache:    newResultCache(cfg.CacheEntries),
+		store:    cfg.Store,
+	}
+	if s.store != nil {
+		// Remember which snapshot the store calls current so the first
+		// ingest supersedes it instead of stranding it.
+		if fp, _, ok, err := s.store.Get(currentSnapshotKey); err == nil && ok {
+			s.snapFP = string(fp)
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -250,14 +274,46 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		timeout:   timeout,
 	}
 
-	if res, ok := s.cache.get(key); ok {
-		// Content-addressed hit: finish instantly, never touch the queue.
+	var res any
+	var hit, diskHit bool
+	if r, ok := s.cache.get(key); ok {
+		res, hit = r, true
+	} else if s.store != nil && s.inflight[key] == nil {
+		// Probe the disk tier with the job-table lock released: reading,
+		// checksumming and decoding a large persisted report must not stall
+		// unrelated submits and polls. The memory fast path above never
+		// pays for this.
+		s.mu.Unlock()
+		r, ok := s.diskGet(key)
+		s.mu.Lock()
+		if s.closed {
+			// Shutdown began during the probe; the queue may be closed.
+			s.m.rejected.Add(1)
+			return JobStatus{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
+		}
+		if ok {
+			// An identical job may have promoted the same bytes during the
+			// probe; overwriting with an equal decode is harmless.
+			s.cache.put(key, r)
+			res, hit, diskHit = r, true, true
+		}
+	}
+
+	if hit {
+		// Content-addressed hit (memory or disk): finish instantly, never
+		// touch the queue. A disk hit serves a result computed before a
+		// restart (or evicted from the memory LRU) without recomputation.
 		j.state = StateDone
 		j.cached = true
+		j.diskHit = diskHit
 		j.started, j.finished = j.submitted, j.submitted
 		j.result = retitle(res, j.title)
 		close(j.done)
-		s.m.cacheHits.Add(1)
+		if diskHit {
+			s.m.storeHits.Add(1)
+		} else {
+			s.m.cacheHits.Add(1)
+		}
 	} else if comp := s.inflight[key]; comp != nil {
 		// Identical computation already queued or running: coalesce.
 		j.state = StateQueued
@@ -380,7 +436,16 @@ func (s *Server) runComputation(comp *computation) {
 	res, err := comp.run(comp.ctx)
 	s.m.busyWorkers.Add(-1)
 
+	// Write through to the disk store BEFORE any waiter observes "done": a
+	// client that sees its job complete may kill -9 the daemon immediately
+	// and must still find the result after restart.
+	var evicted []string
+	if err == nil && res != nil {
+		evicted = s.persistResult(comp.key, res)
+	}
+
 	s.mu.Lock()
+	s.dropCachedLocked(evicted, comp.key)
 	s.finishLocked(comp, res, err)
 	s.mu.Unlock()
 }
@@ -559,7 +624,17 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	entries := s.cache.len()
 	s.mu.Unlock()
+	var storeStats store.Stats
+	if s.store != nil {
+		storeStats = s.store.Stats()
+	}
 	return Stats{
+		StoreEnabled:   s.store != nil,
+		StoreHits:      s.m.storeHits.Load(),
+		StoreEvictions: s.m.storeEvictions.Load(),
+		StoreErrors:    s.m.storeErrors.Load(),
+		Store:          storeStats,
+
 		Submitted:       s.m.submitted.Load(),
 		Completed:       s.m.completed.Load(),
 		Failed:          s.m.failed.Load(),
@@ -615,6 +690,7 @@ func (j *job) statusLocked() JobStatus {
 		State:       j.state,
 		CacheKey:    j.key,
 		Cached:      j.cached,
+		DiskHit:     j.diskHit,
 		Coalesced:   j.coalesced,
 		SubmittedAt: j.submitted,
 	}

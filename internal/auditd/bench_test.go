@@ -1,0 +1,110 @@
+package auditd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"indaas/internal/store"
+)
+
+// benchServer starts a service, primes it with one completed quickRequest
+// audit, and returns the server plus the primed request.
+func benchServer(b *testing.B, cfg Config) (*Server, *SubmitRequest) {
+	b.Helper()
+	s := New(cfg)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	req := quickRequest("bench")
+	st, err := s.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	end, err := s.WaitDone(ctx, st.ID, 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if end.State != StateDone {
+		b.Fatalf("priming job finished %s (%s)", end.State, end.Error)
+	}
+	return s, req
+}
+
+// BenchmarkSubmitMemoryHit measures the hot submit path when the result is
+// already in the in-memory LRU: the latency every repeat client sees.
+func BenchmarkSubmitMemoryHit(b *testing.B) {
+	s, req := benchServer(b, Config{Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != StateDone || !st.Cached {
+			b.Fatalf("want cached done, got %+v", st)
+		}
+	}
+}
+
+// BenchmarkSubmitDiskHit measures the disk-tier fallback: the in-memory LRU
+// is emptied before every submit, so each iteration pays the store read,
+// checksum verification and JSON decode a restarted daemon pays on its
+// first hit per key.
+func BenchmarkSubmitDiskHit(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	s, req := benchServer(b, Config{Workers: 1, Store: st})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.mu.Lock()
+		s.cache = newResultCache(s.cfg.CacheEntries)
+		s.mu.Unlock()
+		b.StartTimer()
+		st, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != StateDone || !st.DiskHit {
+			b.Fatalf("want disk hit, got %+v", st)
+		}
+	}
+}
+
+// BenchmarkColdCompute measures a full audit computation of the benchmark
+// workload — the cost a cache hit (memory or disk) avoids. Each iteration
+// submits a distinct cache key by varying the deployment name.
+func BenchmarkColdCompute(b *testing.B) {
+	s, req := benchServer(b, Config{Workers: 1, CacheEntries: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := *req
+		r.Deployments = []DeploymentWire{
+			{Name: "s1+s2 #" + string(rune('a'+i%26)) + time.Duration(i).String(), Servers: []string{"s1", "s2"}},
+		}
+		st, err := s.Submit(&r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		end, err := s.WaitDone(ctx, st.ID, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if end.State != StateDone {
+			b.Fatalf("job finished %s (%s)", end.State, end.Error)
+		}
+	}
+}

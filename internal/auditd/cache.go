@@ -54,4 +54,13 @@ func (c *resultCache) put(key string, res any) {
 	}
 }
 
+// remove drops key if present; used to mirror disk-store evictions so the
+// memory tier never claims an entry the durable tier has given up on.
+func (c *resultCache) remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
 func (c *resultCache) len() int { return c.order.Len() }

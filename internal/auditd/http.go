@@ -160,8 +160,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.Stats().render(w)
 }
 
+// handleHealthz reports liveness plus the served database's identity — the
+// record count and canonical fingerprint — so an operator (or the restart
+// smoke test) can confirm a restarted daemon serves the same data.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, 200, struct {
-		OK bool `json:"ok"`
-	}{true})
+	type health struct {
+		OK            bool   `json:"ok"`
+		Durable       bool   `json:"durable"`
+		DBRecords     int    `json:"db_records"`
+		DBFingerprint string `json:"db_fingerprint,omitempty"`
+	}
+	h := health{OK: true, Durable: s.store != nil}
+	s.mu.Lock()
+	db := s.db
+	s.mu.Unlock()
+	if db != nil {
+		snap := db.Snapshot()
+		h.DBRecords = snap.Len()
+		h.DBFingerprint = snap.Fingerprint()
+	}
+	writeJSON(w, 200, h)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"indaas/internal/store"
 )
 
 // metrics holds the service counters, updated atomically so the /metrics
@@ -22,6 +24,10 @@ type metrics struct {
 
 	recommendations atomic.Int64 // placement recommendation jobs accepted
 	ingestedRecords atomic.Int64 // dependency records accepted via /v1/depdb
+
+	storeHits      atomic.Int64 // jobs answered from the disk store
+	storeEvictions atomic.Int64 // disk evictions mirrored into the memory LRU
+	storeErrors    atomic.Int64 // persist/encode failures (results kept in memory)
 }
 
 // Stats is a point-in-time snapshot of the service counters, exported for
@@ -43,15 +49,24 @@ type Stats struct {
 
 	Recommendations int64
 	IngestedRecords int64
+
+	// StoreEnabled reports whether the service runs with a persistent
+	// store; the Store* fields below are only meaningful when it does.
+	StoreEnabled   bool
+	StoreHits      int64 // jobs answered from the disk tier
+	StoreEvictions int64 // disk evictions mirrored into the memory LRU
+	StoreErrors    int64 // persist failures (results stayed in memory)
+	Store          store.Stats
 }
 
 // HitRate is the fraction of accepted jobs that did not need their own
-// computation (cache hits plus in-flight coalescing).
+// computation (memory cache hits, disk store hits, and in-flight
+// coalescing).
 func (s Stats) HitRate() float64 {
 	if s.Submitted == 0 {
 		return 0
 	}
-	return float64(s.CacheHits+s.Coalesced) / float64(s.Submitted)
+	return float64(s.CacheHits+s.StoreHits+s.Coalesced) / float64(s.Submitted)
 }
 
 // render writes the counters in the Prometheus text exposition format.
@@ -78,4 +93,16 @@ func (s Stats) render(w io.Writer) {
 	gauge("auditd_queue_depth", "Computations waiting for a worker.", s.QueueDepth)
 	gauge("auditd_workers", "Size of the worker pool.", s.Workers)
 	gauge("auditd_workers_busy", "Workers currently running a computation.", s.BusyWorkers)
+	if s.StoreEnabled {
+		counter("auditd_store_hits_total", "Jobs answered from the persistent store.", s.StoreHits)
+		counter("auditd_store_puts_total", "Entries written to the persistent store.", s.Store.Puts)
+		counter("auditd_store_evictions_total", "Persistent-store evictions (mirrored into the memory cache).", s.Store.Evictions)
+		counter("auditd_store_compactions_total", "Persistent-store segment compactions.", s.Store.Compactions)
+		counter("auditd_store_errors_total", "Persist failures; the results stayed in memory.", s.StoreErrors)
+		gauge("auditd_store_entries", "Live entries in the persistent store.", s.Store.Entries)
+		gauge("auditd_store_live_bytes", "Bytes of live entries in the persistent store.", s.Store.LiveBytes)
+		gauge("auditd_store_file_bytes", "Persistent-store segment size on disk.", s.Store.FileBytes)
+		gauge("auditd_store_recovered_entries", "Entries recovered when the store was opened.", s.Store.Recovery.Entries)
+		gauge("auditd_store_recovery_truncated_bytes", "Torn-tail bytes dropped by the last recovery.", s.Store.Recovery.TruncatedBytes)
+	}
 }

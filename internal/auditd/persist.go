@@ -1,0 +1,195 @@
+package auditd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"indaas/internal/depdb"
+	"indaas/internal/report"
+	"indaas/internal/store"
+)
+
+// Store key namespaces. Result entries use the raw content address (a
+// SHA-256 hex string, which never contains '/'); DepDB entries live under
+// the depdb/ prefix so the two spaces cannot collide.
+const (
+	// snapshotKeyPrefix + fingerprint stores an encoded DepDB snapshot.
+	snapshotKeyPrefix = "depdb/"
+	// currentSnapshotKey stores the fingerprint of the snapshot a restarted
+	// daemon should serve.
+	currentSnapshotKey = "depdb/current"
+)
+
+// persistedResult is the disk envelope for a completed computation: a kind
+// tag telling the decoder which concrete wire type the payload holds.
+type persistedResult struct {
+	Kind    string          `json:"kind"` // "audit" or "recommend"
+	Payload json.RawMessage `json:"payload"`
+}
+
+// encodeResult serializes a completed result for the disk store. Both
+// payload types already define stable, NaN-safe JSON.
+func encodeResult(res any) ([]byte, error) {
+	var kind string
+	switch res.(type) {
+	case *report.Report:
+		kind = "audit"
+	case *RecommendResponse:
+		kind = "recommend"
+	default:
+		return nil, fmt.Errorf("auditd: result type %T is not persistable", res)
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(persistedResult{Kind: kind, Payload: payload})
+}
+
+// decodeResult reverses encodeResult.
+func decodeResult(blob []byte) (any, error) {
+	var env persistedResult
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case "audit":
+		rep := new(report.Report)
+		if err := json.Unmarshal(env.Payload, rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	case "recommend":
+		resp := new(RecommendResponse)
+		if err := json.Unmarshal(env.Payload, resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("auditd: unknown persisted result kind %q", env.Kind)
+	}
+}
+
+// RestoreDB rebuilds the dependency database a crashed or restarted daemon
+// was serving: the persisted current DepDB snapshot, loaded into a fresh
+// mutable database so later ingests keep working. It returns nil (and no
+// error) when the store holds no snapshot. The restored database reproduces
+// the pre-restart canonical fingerprint, so cached results computed against
+// it stay addressable.
+func RestoreDB(st *store.Store) (*depdb.DB, error) {
+	fpBlob, _, ok, err := st.Get(currentSnapshotKey)
+	if err != nil {
+		return nil, fmt.Errorf("auditd: reading current snapshot pointer: %w", err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	fp := string(fpBlob)
+	blob, _, ok, err := st.Get(snapshotKeyPrefix + fp)
+	if err != nil {
+		return nil, fmt.Errorf("auditd: reading snapshot %s: %w", fp, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("auditd: store names current snapshot %s but holds no entry for it", fp)
+	}
+	db, err := depdb.DecodeDB(bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	if got := db.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("auditd: snapshot stored as %s decodes to fingerprint %s", fp, got)
+	}
+	return db, nil
+}
+
+// diskGet serves a content address from the disk store after an in-memory
+// miss. It is called WITHOUT s.mu held — the read, checksum verification
+// and JSON decode may take milliseconds for a large report and must not
+// stall the job table; the store synchronizes itself. IO or decode failures
+// degrade to a miss: the computation simply reruns.
+func (s *Server) diskGet(key string) (any, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	blob, kind, ok, err := s.store.Get(key)
+	if err != nil || !ok || kind != store.KindResult {
+		return nil, false
+	}
+	res, err := decodeResult(blob)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// persistResult writes a completed computation through to the disk store,
+// returning any keys the store evicted to stay within budget (mirrored into
+// the memory LRU by the caller). Persist failures are recorded but never
+// fail the job: the result still lives in memory.
+func (s *Server) persistResult(key string, res any) []string {
+	if s.store == nil {
+		return nil
+	}
+	blob, err := encodeResult(res)
+	if err != nil {
+		s.m.storeErrors.Add(1)
+		return nil
+	}
+	evicted, err := s.store.Put(key, store.KindResult, blob)
+	if err != nil {
+		s.m.storeErrors.Add(1)
+	}
+	return evicted
+}
+
+// persistSnapshot makes an ingested DepDB snapshot durable: the encoded
+// snapshot under its canonical fingerprint, the current pointer for restart
+// recovery, and deletion of the superseded snapshot. Caller holds
+// s.ingestMu, which serializes persisted snapshots with their ingests.
+func (s *Server) persistSnapshot(snap *depdb.Snapshot) error {
+	if s.store == nil {
+		return nil
+	}
+	fp := snap.Fingerprint()
+	if s.snapFP == fp {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		return err
+	}
+	evicted, err := s.store.Put(snapshotKeyPrefix+fp, store.KindSnapshot, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	ev2, err := s.store.Put(currentSnapshotKey, store.KindMeta, []byte(fp))
+	evicted = append(evicted, ev2...)
+	if err != nil {
+		return err
+	}
+	if prev := s.snapFP; prev != "" {
+		// Superseded: the new snapshot carries every record the old one did.
+		// Best-effort — a leftover old snapshot only costs bytes.
+		s.store.Delete(snapshotKeyPrefix + prev)
+	}
+	s.snapFP = fp
+	s.mu.Lock()
+	s.dropCachedLocked(evicted, "")
+	s.mu.Unlock()
+	return nil
+}
+
+// dropCachedLocked mirrors disk-store evictions into the in-memory LRU so
+// the two tiers cannot disagree about what is retrievable. except (usually
+// the key just written) is spared: even if the store could not retain it,
+// the in-memory copy stays valid. Caller holds s.mu.
+func (s *Server) dropCachedLocked(keys []string, except string) {
+	for _, key := range keys {
+		if key == except {
+			continue
+		}
+		s.cache.remove(key)
+		s.m.storeEvictions.Add(1)
+	}
+}

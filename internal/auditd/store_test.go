@@ -1,0 +1,303 @@
+package auditd
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"indaas/internal/report"
+	"indaas/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func gracefulShutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestRestartServesResultFromDisk is the durability contract for results: a
+// report computed before a restart is served from disk afterwards — same
+// bytes, no recomputation — and the job says so.
+func TestRestartServesResultFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	st1 := openStore(t, dir)
+	s1 := New(Config{Workers: 1, Store: st1})
+	first := mustSubmit(t, s1, quickRequest("durable"))
+	if done := waitDone(t, s1, first.ID); done.State != StateDone {
+		t.Fatalf("job finished %s (%s)", done.State, done.Error)
+	}
+	rep1, err := s1.Report(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gracefulShutdown(t, s1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store handle over the same directory, fresh server.
+	st2 := openStore(t, dir)
+	if rec := st2.Recovery(); rec.Entries != 1 || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	s2 := New(Config{Workers: 1, Store: st2})
+	defer gracefulShutdown(t, s2)
+	again := mustSubmit(t, s2, quickRequest("durable"))
+	if again.State != StateDone || !again.Cached || !again.DiskHit {
+		t.Fatalf("post-restart submit = %+v, want an instant disk hit", again)
+	}
+	if again.CacheKey != first.CacheKey {
+		t.Fatalf("cache key drifted across restart: %s != %s", again.CacheKey, first.CacheKey)
+	}
+	rep2, err := s2.Report(again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(rep1)
+	b2, _ := json.Marshal(rep2)
+	if string(b1) != string(b2) {
+		t.Fatalf("disk-served report differs:\n pre: %s\npost: %s", b1, b2)
+	}
+	stats := s2.Stats()
+	if stats.StoreHits != 1 || stats.Computations != 0 {
+		t.Fatalf("want 1 store hit and 0 computations, got %+v", stats)
+	}
+	if !stats.StoreEnabled || stats.Store.Entries == 0 {
+		t.Fatalf("store stats not exported: %+v", stats)
+	}
+	// A third submission now hits the promoted in-memory copy, not disk.
+	third := mustSubmit(t, s2, quickRequest("durable"))
+	if !third.Cached || third.DiskHit {
+		t.Fatalf("third submit = %+v, want a memory hit", third)
+	}
+}
+
+// TestRestartServesIngestedFingerprint is the durability contract for
+// ingests: records pushed through Ingest survive a restart with the same
+// canonical fingerprint, so record-less jobs resolve to the same content
+// addresses and are served from disk.
+func TestRestartServesIngestedFingerprint(t *testing.T) {
+	dir := t.TempDir()
+
+	st1 := openStore(t, dir)
+	s1 := New(Config{Workers: 1, Store: st1})
+	ing, err := s1.Ingest(&IngestRequest{Records: testRecords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Fingerprint == "" {
+		t.Fatal("ingest returned no fingerprint")
+	}
+	rreq := &RecommendRequest{Replicas: 2} // record-less: uses the server DB
+	rst, err := s1.Recommend(rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s1, rst.ID)
+	res1, err := s1.Result(rst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gracefulShutdown(t, s1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	db, err := RestoreDB(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db == nil {
+		t.Fatal("RestoreDB found no persisted snapshot")
+	}
+	if got := db.Fingerprint(); got != ing.Fingerprint {
+		t.Fatalf("restored fingerprint %s, want %s", got, ing.Fingerprint)
+	}
+	s2 := New(Config{Workers: 1, DB: db, Store: st2})
+	defer gracefulShutdown(t, s2)
+	rst2, err := s2.Recommend(&RecommendRequest{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst2.CacheKey != rst.CacheKey {
+		t.Fatalf("record-less recommend key drifted: %s != %s", rst2.CacheKey, rst.CacheKey)
+	}
+	if rst2.State != StateDone || !rst2.DiskHit {
+		t.Fatalf("post-restart recommend = %+v, want a disk hit", rst2)
+	}
+	res2, err := s2.Result(rst2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := res1.(*RecommendResponse), res2.(*RecommendResponse)
+	if len(r1.Rankings) == 0 || len(r1.Rankings) != len(r2.Rankings) {
+		t.Fatalf("rankings differ: %d vs %d", len(r1.Rankings), len(r2.Rankings))
+	}
+	if strings.Join(r1.Rankings[0].Nodes, ",") != strings.Join(r2.Rankings[0].Nodes, ",") {
+		t.Fatalf("top-1 differs: %v vs %v", r1.Rankings[0].Nodes, r2.Rankings[0].Nodes)
+	}
+
+	// A further ingest supersedes the persisted snapshot: exactly one
+	// snapshot entry (the newest) plus the current pointer must remain.
+	ing2, err := s2.Ingest(&IngestRequest{Records: []RecordWire{
+		{Kind: "hardware", HW: "s3", Type: "Disk", Dep: "S3-SED900"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing2.Fingerprint == ing.Fingerprint {
+		t.Fatal("ingest did not change the fingerprint")
+	}
+	var snapshots, metas int
+	for _, e := range st2.Entries() {
+		switch e.Kind {
+		case store.KindSnapshot:
+			snapshots++
+		case store.KindMeta:
+			metas++
+		}
+	}
+	if snapshots != 1 || metas != 1 {
+		t.Fatalf("want 1 snapshot + 1 meta entry after supersede, got %d + %d", snapshots, metas)
+	}
+}
+
+// TestStoreEvictionMirroredIntoMemory pins the two-tier invariant: when the
+// disk store evicts a result to stay within budget, the in-memory LRU drops
+// it too, so the memory tier never serves an entry the durable tier gave up
+// on.
+func TestStoreEvictionMirroredIntoMemory(t *testing.T) {
+	// Phase 1: measure the on-disk size of one persisted benchmark result.
+	probeDir := t.TempDir()
+	stp := openStore(t, probeDir)
+	sp := New(Config{Workers: 1, Store: stp})
+	p := mustSubmit(t, sp, quickRequest("probe"))
+	waitDone(t, sp, p.ID)
+	recBytes := stp.Stats().ResultBytes
+	if recBytes == 0 {
+		t.Fatal("probe result not persisted")
+	}
+	gracefulShutdown(t, sp)
+
+	// Phase 2: budget holds one result but not two.
+	st, err := store.Open(store.Options{Dir: t.TempDir(), MaxBytes: recBytes + recBytes/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(Config{Workers: 1, Store: st})
+	defer gracefulShutdown(t, s)
+
+	reqA := quickRequest("A")
+	reqB := quickRequest("B")
+	reqB.Deployments = []DeploymentWire{{Name: "s1 only", Servers: []string{"s1"}}}
+
+	a := mustSubmit(t, s, reqA)
+	waitDone(t, s, a.ID)
+	b := mustSubmit(t, s, reqB)
+	waitDone(t, s, b.ID)
+
+	stats := s.Stats()
+	if stats.Store.Evictions == 0 || stats.StoreEvictions == 0 {
+		t.Fatalf("persisting B should have evicted A from disk and memory: %+v", stats)
+	}
+	// A was evicted from both tiers: resubmitting recomputes.
+	a2 := mustSubmit(t, s, reqA)
+	if a2.Cached || a2.DiskHit {
+		t.Fatalf("A should have been evicted everywhere, got %+v", a2)
+	}
+	waitDone(t, s, a2.ID)
+	// B stayed in memory.
+	b2 := mustSubmit(t, s, reqB)
+	if !b2.Cached {
+		t.Fatalf("B should still be served from memory, got %+v", b2)
+	}
+}
+
+// TestResultCodec pins the disk envelope: both payload types round-trip,
+// and garbage fails loudly instead of producing a zero-valued result.
+func TestResultCodec(t *testing.T) {
+	if _, err := encodeResult(42); err == nil {
+		t.Error("encodeResult accepted an unpersistable type")
+	}
+	if _, err := decodeResult([]byte("{")); err == nil {
+		t.Error("decodeResult accepted truncated JSON")
+	}
+	if _, err := decodeResult([]byte(`{"kind":"mystery","payload":{}}`)); err == nil {
+		t.Error("decodeResult accepted an unknown kind")
+	}
+
+	rep := &report.Report{Title: "codec"}
+	blob, err := encodeResult(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := back.(*report.Report); !ok || got.Title != "codec" {
+		t.Fatalf("report round-trip = %#v", back)
+	}
+
+	resp := &RecommendResponse{Strategy: "exact", Replicas: 2}
+	blob, err = encodeResult(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = decodeResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := back.(*RecommendResponse); !ok || got.Strategy != "exact" || got.Replicas != 2 {
+		t.Fatalf("recommend round-trip = %#v", back)
+	}
+}
+
+// TestMetricsExposeStoreCounters asserts the /metrics additions render only
+// when a store is configured.
+func TestMetricsExposeStoreCounters(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	s := New(Config{Workers: 1, Store: st})
+	defer gracefulShutdown(t, s)
+	j := mustSubmit(t, s, quickRequest("metrics"))
+	waitDone(t, s, j.ID)
+	var sb strings.Builder
+	s.Stats().render(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"auditd_store_hits_total 0",
+		"auditd_store_puts_total 1",
+		"auditd_store_entries 1",
+		"auditd_store_recovered_entries 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	plain := New(Config{Workers: 1})
+	defer gracefulShutdown(t, plain)
+	sb.Reset()
+	plain.Stats().render(&sb)
+	if strings.Contains(sb.String(), "auditd_store_") {
+		t.Error("memory-only service rendered store metrics")
+	}
+}

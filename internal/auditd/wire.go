@@ -251,6 +251,10 @@ type JobStatus struct {
 	// Cached is true when the job was answered from the result cache
 	// without touching the queue.
 	Cached bool `json:"cached,omitempty"`
+	// DiskHit is true when the cached answer came from the persistent store
+	// rather than the in-memory LRU — e.g. the result was computed before a
+	// daemon restart.
+	DiskHit bool `json:"disk_hit,omitempty"`
 	// Coalesced is true when the job attached to an identical in-flight
 	// computation instead of enqueueing its own.
 	Coalesced   bool       `json:"coalesced,omitempty"`

@@ -267,6 +267,39 @@ func (s *Snapshot) Records() []deps.Record {
 	return append([]deps.Record(nil), s.v.records...)
 }
 
+// Encode writes the snapshot's records in the canonical Table 1 XML format,
+// the durable form the audit service's disk store persists. DecodeSnapshot
+// reverses it; the round-trip preserves the Fingerprint.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return deps.EncodeXML(w, s.v.records)
+}
+
+// DecodeDB reconstructs a mutable database from Encode's output — the form
+// a restarted daemon wants, since later ingests keep appending to it.
+func DecodeDB(r io.Reader) (*DB, error) {
+	records, err := deps.DecodeXML(r)
+	if err != nil {
+		return nil, fmt.Errorf("depdb: decoding snapshot: %w", err)
+	}
+	db := New()
+	if err := db.Put(records...); err != nil {
+		return nil, fmt.Errorf("depdb: decoding snapshot: %w", err)
+	}
+	return db, nil
+}
+
+// DecodeSnapshot reconstructs an immutable snapshot from Encode's output.
+// Record order inside the encoding does not matter: the fingerprint is
+// order-independent, so the decoded snapshot content-addresses identically
+// to the one encoded.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	db, err := DecodeDB(r)
+	if err != nil {
+		return nil, err
+	}
+	return db.Snapshot(), nil
+}
+
 // Networks returns the network records for subject, unwrapped.
 func (s *Snapshot) Networks(subject string) []deps.Network {
 	return unwrapNetworks(s.Query(subject, deps.KindNetwork))

@@ -132,6 +132,41 @@ func TestXMLPersistence(t *testing.T) {
 	}
 }
 
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	db := New()
+	if err := db.Put(sampleRecords()...); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	snap := db.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	decoded, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if decoded.Fingerprint() != snap.Fingerprint() {
+		t.Errorf("fingerprint drifted across the round-trip:\n  encoded %s\n  decoded %s",
+			snap.Fingerprint(), decoded.Fingerprint())
+	}
+	if decoded.Len() != snap.Len() {
+		t.Errorf("Len = %d, want %d", decoded.Len(), snap.Len())
+	}
+	if !reflect.DeepEqual(decoded.Records(), snap.Records()) {
+		t.Error("records differ after the round-trip")
+	}
+	if !reflect.DeepEqual(decoded.Subjects(), snap.Subjects()) {
+		t.Error("subjects differ after the round-trip")
+	}
+}
+
+func TestDecodeSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot(bytes.NewBufferString("not xml")); err == nil {
+		t.Error("DecodeSnapshot accepted garbage")
+	}
+}
+
 func TestReadXMLRejectsGarbage(t *testing.T) {
 	db := New()
 	if err := db.ReadXML(bytes.NewBufferString("nope")); err == nil {

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRecoveryAtEveryTruncationOffset is the crash-safety property test: a
+// segment truncated at EVERY byte offset — simulating kill -9 at any point
+// during an append — must recover to exactly the entry set whose records lie
+// fully inside the surviving prefix. Nothing before the torn tail may be
+// lost or corrupted, and nothing after it may partially apply.
+func TestRecoveryAtEveryTruncationOffset(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := Open(Options{Dir: dir, MaxBytes: -1, NoSync: true, now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A script mixing puts, overwrites, deletes and kinds. Values differ in
+	// length so record boundaries land at irregular offsets.
+	type op struct {
+		del  bool
+		key  string
+		kind Kind
+		val  string
+	}
+	script := []op{
+		{key: "res-a", kind: KindResult, val: "first result payload"},
+		{key: "snap-1", kind: KindSnapshot, val: "<snapshot body, somewhat longer to vary framing>"},
+		{key: "res-b", kind: KindResult, val: "b"},
+		{key: "res-a", kind: KindResult, val: "overwritten result payload with a different length"},
+		{del: true, key: "res-b"},
+		{key: "meta", kind: KindMeta, val: "fp-12345"},
+		{key: "res-c", kind: KindResult, val: "third"},
+		{del: true, key: "snap-1"},
+		{key: "res-b", kind: KindResult, val: "resurrected after delete"},
+	}
+
+	// boundaries[i] is the segment size after the first i records;
+	// states[i] the live map at that point.
+	boundaries := []int64{int64(len(fileMagic))}
+	states := []map[string]string{{}}
+	cur := map[string]string{}
+	for _, o := range script {
+		if o.del {
+			if err := s.Delete(o.key); err != nil {
+				t.Fatal(err)
+			}
+			delete(cur, o.key)
+		} else {
+			if _, err := s.Put(o.key, o.kind, []byte(o.val)); err != nil {
+				t.Fatal(err)
+			}
+			cur[o.key] = o.val
+		}
+		boundaries = append(boundaries, s.Stats().FileBytes)
+		snap := make(map[string]string, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		states = append(states, snap)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, segmentName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) != boundaries[len(boundaries)-1] {
+		t.Fatalf("file is %d bytes, last boundary %d", len(blob), boundaries[len(boundaries)-1])
+	}
+
+	// expectedAt returns the newest state whose boundary fits inside a
+	// truncation at off, plus that boundary.
+	expectedAt := func(off int64) (map[string]string, int64) {
+		state, boundary := map[string]string{}, int64(0)
+		for i, b := range boundaries {
+			if b <= off {
+				state, boundary = states[i], b
+			}
+		}
+		return state, boundary
+	}
+
+	tdir := t.TempDir()
+	tpath := filepath.Join(tdir, segmentName)
+	for off := 0; off <= len(blob); off++ {
+		if err := os.WriteFile(tpath, blob[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Open(Options{Dir: tdir, MaxBytes: -1, NoSync: true, now: clock.now})
+		if err != nil {
+			t.Fatalf("offset %d: open: %v", off, err)
+		}
+		want, boundary := expectedAt(int64(off))
+		if got := rs.Len(); got != len(want) {
+			t.Fatalf("offset %d: recovered %d entries, want %d", off, got, len(want))
+		}
+		for key, val := range want {
+			gotVal, _, ok, err := rs.Get(key)
+			if err != nil || !ok {
+				t.Fatalf("offset %d: key %q: ok=%v err=%v", off, key, ok, err)
+			}
+			if string(gotVal) != val {
+				t.Fatalf("offset %d: key %q = %q, want %q", off, key, gotVal, val)
+			}
+		}
+		rec := rs.Recovery()
+		wantTorn := int64(off) - boundary
+		if off >= len(fileMagic) && rec.TruncatedBytes != wantTorn {
+			t.Fatalf("offset %d: truncated %d bytes, want %d", off, rec.TruncatedBytes, wantTorn)
+		}
+		// The recovered store must stay fully usable: append and reread.
+		if _, err := rs.Put("post-crash", KindResult, []byte("appended after recovery")); err != nil {
+			t.Fatalf("offset %d: post-recovery put: %v", off, err)
+		}
+		if v, _, ok, _ := rs.Get("post-crash"); !ok || string(v) != "appended after recovery" {
+			t.Fatalf("offset %d: post-recovery get failed", off)
+		}
+		if err := rs.Close(); err != nil {
+			t.Fatalf("offset %d: close: %v", off, err)
+		}
+	}
+}
+
+// TestRecoveryAfterTruncationPersists reopens a store twice after a torn
+// tail: the first recovery truncates the tail on disk, so the second open
+// must see a clean log plus whatever the first session appended.
+func TestRecoveryAfterTruncationPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	mustPut(t, s, "a", KindResult, "alpha")
+	mustPut(t, s, "b", KindResult, "beta")
+	s.Close()
+
+	path := filepath.Join(dir, segmentName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, Options{Dir: dir})
+	if rec := s2.Recovery(); rec.Entries != 1 || rec.TruncatedBytes == 0 {
+		t.Fatalf("first recovery = %+v", rec)
+	}
+	mustPut(t, s2, "c", KindResult, "gamma")
+	s2.Close()
+
+	s3 := openTest(t, Options{Dir: dir})
+	if rec := s3.Recovery(); rec.Entries != 2 || rec.TruncatedBytes != 0 {
+		t.Fatalf("second recovery = %+v", rec)
+	}
+	if v, _ := mustGet(t, s3, "c"); v != "gamma" {
+		t.Fatalf("c = %q", v)
+	}
+}
+
+// TestConcurrentPutsAndGets exercises the store under the race detector.
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s := openTest(t, Options{Dir: t.TempDir(), NoSync: true})
+	done := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i%10)
+				if _, err := s.Put(key, KindResult, []byte(time.Now().String())); err != nil {
+					done <- err
+					return
+				}
+				if _, _, _, err := s.Get(key); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				s.Entries()
+				s.Stats()
+				if _, err := s.GC(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,85 +1,187 @@
 #!/usr/bin/env bash
-# End-to-end smoke for the audit service: build the CLI, start
-# `indaas serve`, submit an audit over HTTP, poll it to completion, and diff
-# the JSON report (elapsed times zeroed) against the golden file shared with
-# the Go e2e test. Also asserts the second identical submission is a cache
-# hit, runs a placement recommendation through /v1/recommend against its own
-# golden file, and exercises the /v1/depdb ingest path. Requires curl and jq.
+# End-to-end smoke for the audit service. Two modes:
+#
+#   ./scripts/smoke.sh            base legs: build the CLI, start
+#       `indaas serve`, submit an audit over HTTP, poll it to completion and
+#       diff the JSON report (elapsed zeroed) against the golden file shared
+#       with the Go e2e test; assert an identical resubmission is a cache
+#       hit; run a placement recommendation against its golden file; and
+#       exercise the /v1/depdb ingest path.
+#
+#   ./scripts/smoke.sh restart    durability leg: serve with -data-dir,
+#       submit an audit and ingest records, kill -9 the daemon, restart it
+#       over the same directory, and assert the report is served from disk
+#       (no recomputation, store-hit metric increments) and the ingested
+#       fingerprint survived.
+#
+# The daemon is always reaped on exit — success, failure, or signal — and
+# every HTTP call carries a timeout, so a hung leg fails fast with the
+# server log tail instead of leaving an orphan process. Requires curl + jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE=${1:-base}
 ADDR=${SMOKE_ADDR:-127.0.0.1:7085}
 BASE="http://$ADDR"
 GOLDEN=internal/auditd/testdata/e2e_report_golden.json
 RECOMMEND_GOLDEN=internal/auditd/testdata/e2e_recommend_golden.json
 TMP=$(mktemp -d)
 SERVE_PID=
-trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+SERVE_LOG="$TMP/serve.log"
+
+cleanup() {
+    status=$?
+    if [ -n "${SERVE_PID:-}" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ] && [ -s "$SERVE_LOG" ]; then
+        echo "--- server log tail ---" >&2
+        tail -n 40 "$SERVE_LOG" >&2
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+die() {
+    echo "smoke: $*" >&2
+    exit 1
+}
+
+# curl with a hard deadline: a wedged daemon fails the leg instead of
+# hanging the job (and orphaning the server) forever.
+CURL=(curl -sf --max-time 45)
+
+start_daemon() { # extra serve flags...
+    "$TMP/indaas" serve -listen "$ADDR" "$@" >>"$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        "${CURL[@]}" "$BASE/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$SERVE_PID" 2>/dev/null || die "daemon exited during startup"
+        sleep 0.1
+    done
+    die "daemon did not become healthy within 10s"
+}
+
+stop_daemon() { # [signal]
+    kill "${1:--TERM}" "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=
+}
+
+submit() { # endpoint json-body → job id on stdout
+    local id
+    id=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' --data "$2" "$BASE/$1" | jq -r .id) ||
+        die "submitting to $1 failed"
+    [ -n "$id" ] && [ "$id" != null ] || die "$1 returned no job id"
+    echo "$id"
+}
+
+wait_done() { # job-id leg-name
+    local state
+    state=$("${CURL[@]}" "$BASE/v1/audits/$1?wait=30s" | jq -r .state) ||
+        die "$2: polling job $1 failed"
+    if [ "$state" != done ]; then
+        "${CURL[@]}" "$BASE/v1/audits/$1" >&2 || true
+        die "$2: job $1 ended in state $state"
+    fi
+}
+
+metric() { # name → value on stdout (0 when absent)
+    "${CURL[@]}" "$BASE/metrics" | awk -v name="$1" '$1 == name {print $2; found=1} END {if (!found) print 0}'
+}
 
 go build -o "$TMP/indaas" ./cmd/indaas
-"$TMP/indaas" serve -listen "$ADDR" &
-SERVE_PID=$!
 
-for _ in $(seq 100); do
-    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-done
-curl -sf "$BASE/healthz" >/dev/null
+if [ "$MODE" = base ]; then
+    start_daemon
 
-# Submit, long-poll to completion, fetch the report.
-ID=$(curl -sf -X POST -H 'Content-Type: application/json' \
-    --data @scripts/smoke_request.json "$BASE/v1/audits" | jq -r .id)
-STATE=$(curl -sf "$BASE/v1/audits/$ID?wait=30s" | jq -r .state)
-if [ "$STATE" != done ]; then
-    echo "smoke: job $ID ended in state $STATE" >&2
-    curl -s "$BASE/v1/audits/$ID" >&2
-    exit 1
-fi
-curl -sf "$BASE/v1/audits/$ID/report" > "$TMP/report.json"
-diff <(jq -S '.audits[].elapsed_ns = 0' "$TMP/report.json") <(jq -S . "$GOLDEN")
+    # Submit, long-poll to completion, fetch the report.
+    ID=$(submit v1/audits @scripts/smoke_request.json)
+    wait_done "$ID" audit
+    "${CURL[@]}" "$BASE/v1/audits/$ID/report" > "$TMP/report.json"
+    diff <(jq -S '.audits[].elapsed_ns = 0' "$TMP/report.json") <(jq -S . "$GOLDEN")
 
-# An identical resubmission must be answered from the result cache.
-CACHED=$(curl -sf -X POST -H 'Content-Type: application/json' \
-    --data @scripts/smoke_request.json "$BASE/v1/audits" | jq -r '.cached == true and .state == "done"')
-if [ "$CACHED" != true ]; then
-    echo "smoke: identical resubmission was not a cache hit" >&2
-    exit 1
-fi
-curl -sf "$BASE/metrics" | grep -q '^auditd_cache_hits_total 1$'
+    # An identical resubmission must be answered from the result cache.
+    CACHED=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data @scripts/smoke_request.json "$BASE/v1/audits" | jq -r '.cached == true and .state == "done"')
+    [ "$CACHED" = true ] || die "identical resubmission was not a cache hit"
+    [ "$(metric auditd_cache_hits_total)" = 1 ] || die "cache-hit metric did not increment"
 
-# Placement recommendation: submit the choose-2-of-6 search, poll it, and
-# diff the ranking (elapsed zeroed) against its golden file.
-RID=$(curl -sf -X POST -H 'Content-Type: application/json' \
-    --data @scripts/recommend_request.json "$BASE/v1/recommend" | jq -r .id)
-RSTATE=$(curl -sf "$BASE/v1/audits/$RID?wait=30s" | jq -r .state)
-if [ "$RSTATE" != done ]; then
-    echo "smoke: recommend job $RID ended in state $RSTATE" >&2
-    curl -s "$BASE/v1/audits/$RID" >&2
-    exit 1
-fi
-curl -sf "$BASE/v1/audits/$RID/report" > "$TMP/recommend.json"
-diff <(jq -S '.elapsed_ns = 0' "$TMP/recommend.json") <(jq -S . "$RECOMMEND_GOLDEN")
+    # Placement recommendation: submit the choose-2-of-6 search, poll it, and
+    # diff the ranking (elapsed zeroed) against its golden file.
+    RID=$(submit v1/recommend @scripts/recommend_request.json)
+    wait_done "$RID" recommend
+    "${CURL[@]}" "$BASE/v1/audits/$RID/report" > "$TMP/recommend.json"
+    diff <(jq -S '.elapsed_ns = 0' "$TMP/recommend.json") <(jq -S . "$RECOMMEND_GOLDEN")
 
-# DepDB ingest: push the same records, then a record-less recommendation
-# over the ingested data must reproduce the same top-1 deployment.
-FP=$(jq '{records: .records}' scripts/recommend_request.json | \
-    curl -sf -X POST -H 'Content-Type: application/json' --data @- "$BASE/v1/depdb" | jq -r .fingerprint)
-if [ -z "$FP" ] || [ "$FP" = null ]; then
-    echo "smoke: ingest returned no fingerprint" >&2
-    exit 1
-fi
-IID=$(jq 'del(.records)' scripts/recommend_request.json | \
-    curl -sf -X POST -H 'Content-Type: application/json' --data @- "$BASE/v1/recommend" | jq -r .id)
-ISTATE=$(curl -sf "$BASE/v1/audits/$IID?wait=30s" | jq -r .state)
-if [ "$ISTATE" != done ]; then
-    echo "smoke: ingested recommend job $IID ended in state $ISTATE" >&2
-    exit 1
-fi
-TOP_INGESTED=$(curl -sf "$BASE/v1/audits/$IID/report" | jq -c '.rankings[0].nodes')
-TOP_INLINE=$(jq -c '.rankings[0].nodes' "$TMP/recommend.json")
-if [ "$TOP_INGESTED" != "$TOP_INLINE" ]; then
-    echo "smoke: ingested top-1 $TOP_INGESTED != inline top-1 $TOP_INLINE" >&2
-    exit 1
+    # DepDB ingest: push the same records, then a record-less recommendation
+    # over the ingested data must reproduce the same top-1 deployment.
+    FP=$(jq '{records: .records}' scripts/recommend_request.json | \
+        "${CURL[@]}" -X POST -H 'Content-Type: application/json' --data @- "$BASE/v1/depdb" | jq -r .fingerprint)
+    { [ -n "$FP" ] && [ "$FP" != null ]; } || die "ingest returned no fingerprint"
+    IID=$(submit v1/recommend "$(jq -c 'del(.records)' scripts/recommend_request.json)")
+    wait_done "$IID" ingested-recommend
+    TOP_INGESTED=$("${CURL[@]}" "$BASE/v1/audits/$IID/report" | jq -c '.rankings[0].nodes')
+    TOP_INLINE=$(jq -c '.rankings[0].nodes' "$TMP/recommend.json")
+    [ "$TOP_INGESTED" = "$TOP_INLINE" ] || die "ingested top-1 $TOP_INGESTED != inline top-1 $TOP_INLINE"
+
+    echo "smoke OK: report + recommendation match goldens, cache hit and ingest confirmed"
+    exit 0
 fi
 
-echo "smoke OK: report + recommendation match goldens, cache hit and ingest confirmed"
+if [ "$MODE" = restart ]; then
+    DATA="$TMP/data"
+    start_daemon -data-dir "$DATA"
+
+    # Compute an audit and ingest records while the first daemon runs.
+    ID=$(submit v1/audits @scripts/smoke_request.json)
+    wait_done "$ID" pre-restart-audit
+    "${CURL[@]}" "$BASE/v1/audits/$ID/report" > "$TMP/report-before.json"
+    diff <(jq -S '.audits[].elapsed_ns = 0' "$TMP/report-before.json") <(jq -S . "$GOLDEN")
+
+    FP=$(jq '{records: .records}' scripts/recommend_request.json | \
+        "${CURL[@]}" -X POST -H 'Content-Type: application/json' --data @- "$BASE/v1/depdb" | jq -r .fingerprint)
+    { [ -n "$FP" ] && [ "$FP" != null ]; } || die "ingest returned no fingerprint"
+    RID=$(submit v1/recommend "$(jq -c 'del(.records)' scripts/recommend_request.json)")
+    wait_done "$RID" pre-restart-recommend
+    RKEY=$("${CURL[@]}" "$BASE/v1/audits/$RID" | jq -r .cache_key)
+
+    # Hard kill: no graceful shutdown may help the daemon persist anything.
+    stop_daemon -KILL
+
+    start_daemon -data-dir "$DATA"
+
+    # The restarted daemon serves the same DepDB fingerprint...
+    FP_AFTER=$("${CURL[@]}" "$BASE/healthz" | jq -r .db_fingerprint)
+    [ "$FP_AFTER" = "$FP" ] || die "fingerprint changed across restart: $FP_AFTER != $FP"
+
+    # ...answers the audit from disk without recomputing...
+    HIT=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data @scripts/smoke_request.json "$BASE/v1/audits")
+    [ "$(jq -r '.cached == true and .disk_hit == true and .state == "done"' <<<"$HIT")" = true ] ||
+        die "post-restart audit was not a disk hit: $HIT"
+    HID=$(jq -r .id <<<"$HIT")
+    "${CURL[@]}" "$BASE/v1/audits/$HID/report" > "$TMP/report-after.json"
+    diff "$TMP/report-before.json" "$TMP/report-after.json"
+
+    # ...and the record-less recommendation resolves to the same content
+    # address and is served from disk too.
+    RHIT=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data "$(jq -c 'del(.records)' scripts/recommend_request.json)" "$BASE/v1/recommend")
+    [ "$(jq -r .cache_key <<<"$RHIT")" = "$RKEY" ] || die "recommend cache key drifted across restart"
+    [ "$(jq -r '.disk_hit == true and .state == "done"' <<<"$RHIT")" = true ] ||
+        die "post-restart recommend was not a disk hit: $RHIT"
+
+    [ "$(metric auditd_store_hits_total)" = 2 ] || die "store-hit metric is $(metric auditd_store_hits_total), want 2"
+    [ "$(metric auditd_computations_total)" = 0 ] || die "restarted daemon recomputed instead of serving from disk"
+
+    # The store survives an offline integrity check after the kill -9.
+    stop_daemon
+    "$TMP/indaas" store verify -data-dir "$DATA" >/dev/null || die "store verify failed after hard kill"
+
+    echo "smoke OK: report and DepDB fingerprint survived kill -9; served from disk with zero recomputation"
+    exit 0
+fi
+
+die "unknown mode $MODE (want base or restart)"
