@@ -33,6 +33,7 @@ func cmdServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "persistent store directory (empty = memory-only service)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "persisted result budget in bytes (0 = default 256 MiB, negative = unlimited)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "evict persisted results older than this (0 = keep forever)")
+	storeGCInterval := fs.Duration("store-gc-interval", 5*time.Minute, "background store GC period enforcing -store-max-age/-store-max-bytes on an idle daemon (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +79,10 @@ func cmdServe(args []string) error {
 		DefaultTimeout: *timeout,
 		Store:          st,
 	})
+	// Without the ticker, size/age eviction only runs inside store writes,
+	// so an idle daemon would never enforce -store-max-age.
+	stopGC := svc.StartStoreGC(*storeGCInterval)
+	defer stopGC()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err

@@ -109,6 +109,10 @@ type computation struct {
 	jobs    []*job // attached jobs, including canceled ones
 	refs    int    // attached jobs still interested in the result
 	running bool   // a worker picked it up (guarded by Server.mu)
+	// reg, when set, publishes the completed result into the delta-audit
+	// lineage index so later submissions against a grown database can reuse
+	// it (see delta.go).
+	reg *lineageReg
 }
 
 // job is one client submission.
@@ -120,13 +124,18 @@ type job struct {
 	cached    bool
 	diskHit   bool // cached, and the copy came from the disk store
 	coalesced bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	err       error
-	result    any           // per-job copy: own Title, shared payload
-	done      chan struct{} // closed when the job reaches a terminal state
-	comp      *computation  // nil once terminal or when served from cache
+	// deltaHit marks a job answered through the delta-audit lineage;
+	// dirtySubjects lists the re-audited servers (empty for a whole-result
+	// adoption).
+	deltaHit      bool
+	dirtySubjects []string
+	submitted     time.Time
+	started       time.Time
+	finished      time.Time
+	err           error
+	result        any           // per-job copy: own Title, shared payload
+	done          chan struct{} // closed when the job reaches a terminal state
+	comp          *computation  // nil once terminal or when served from cache
 	// timeout is this job's run-time cap; the watchdog timer is armed when
 	// the job enters StateRunning (also for jobs coalescing onto an
 	// already-running computation), so each coalesced job keeps its own
@@ -155,15 +164,16 @@ type Server struct {
 	order    []string // job IDs in submission order
 	inflight map[string]*computation
 	cache    *resultCache
+	lineage  *lineageIndex // delta-audit ancestry (see delta.go)
 	nextID   uint64
 	closed   bool
 
 	store *store.Store // cfg.Store; nil for a memory-only service
 	// ingestMu serializes ingests with their snapshot persistence so the
 	// durable current-snapshot pointer can never lag a concurrent ingest.
-	// snapFP (the persisted current snapshot's fingerprint) is guarded by it.
+	// snapMeta (the persisted snapshot chain's state) is guarded by it.
 	ingestMu sync.Mutex
-	snapFP   string
+	snapMeta snapMeta
 }
 
 // New starts a service with cfg's worker pool running. Callers own the HTTP
@@ -180,14 +190,13 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*computation),
 		cache:    newResultCache(cfg.CacheEntries),
+		lineage:  newLineageIndex(),
 		store:    cfg.Store,
 	}
 	if s.store != nil {
-		// Remember which snapshot the store calls current so the first
-		// ingest supersedes it instead of stranding it.
-		if fp, _, ok, err := s.store.Get(currentSnapshotKey); err == nil && ok {
-			s.snapFP = string(fp)
-		}
+		// Resume the persisted snapshot chain where the store left it so the
+		// next ingest appends a segment instead of restarting a generation.
+		s.snapMeta = readSnapMeta(s.store)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -203,59 +212,110 @@ func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, &statusErr{code: 400, err: err}
 	}
-	db, fp, err := s.resolveDB(req.Records)
+	snap, err := s.resolveDB(req.Records)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	n.DBFingerprint = fp
+	n.DBFingerprint = snap.Fingerprint()
 	specs := n.specs()
 	run := func(ctx context.Context) (any, error) {
-		rep, err := sia.AuditDeploymentsContext(ctx, db, "", specs, opts)
+		rep, err := sia.AuditDeploymentsContext(ctx, snap, "", specs, opts)
 		if err != nil {
 			return nil, err
 		}
 		return rep, nil
 	}
-	return s.enqueue(n.key(), req.Title, req.TimeoutMS, run)
+	extra := &jobExtras{}
+	if len(req.Records) == 0 {
+		// Server-database jobs participate in the delta lineage: register the
+		// (fingerprint, snapshot, specs) generation on completion, and try to
+		// reuse an ancestor generation now.
+		reqKey := n.requestKey()
+		extra.reg = &lineageReg{reqKey: reqKey, entry: &lineageEntry{
+			fp: snap.Fingerprint(), snap: snap, specs: specs,
+		}}
+		if plan := s.planAuditDelta(reqKey, n.key(), snap, specs, opts); plan != nil {
+			extra.applyPlan(plan)
+			if plan.run != nil {
+				run = plan.run
+			}
+		}
+	}
+	return s.enqueue(n.key(), req.Title, req.TimeoutMS, run, extra)
 }
 
 // resolveDB picks the dependency database a request runs against: a fresh
-// store built from inline records, or a snapshot of the server's database
-// (preloaded via Config.DB or grown through /v1/depdb ingests). The
-// returned fingerprint content-addresses the chosen view.
-func (s *Server) resolveDB(records []RecordWire) (depdb.Reader, string, error) {
+// store built from inline records, or the registered snapshot of the
+// server's database (preloaded via Config.DB or grown through /v1/depdb
+// ingests). The snapshot's fingerprint content-addresses the chosen view.
+func (s *Server) resolveDB(records []RecordWire) (*depdb.Snapshot, error) {
 	if len(records) > 0 {
 		fresh := depdb.New()
 		for i, w := range records {
 			r, err := w.Record()
 			if err != nil {
-				return nil, "", &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+				return nil, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
 			}
 			if err := fresh.Put(r); err != nil {
-				return nil, "", &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
+				return nil, &statusErr{code: 400, err: fmt.Errorf("record %d: %w", i, err)}
 			}
 		}
-		snap := fresh.Snapshot()
-		return snap, snap.Fingerprint(), nil
+		return fresh.Snapshot(), nil
 	}
 	s.mu.Lock()
 	db := s.db
 	s.mu.Unlock()
 	if db == nil {
-		return nil, "", &statusErr{code: 400, err: errors.New("request has no records and the server has no preloaded database")}
+		return nil, &statusErr{code: 400, err: errors.New("request has no records and the server has no preloaded database")}
 	}
-	snap := db.Snapshot()
-	return snap, snap.Fingerprint(), nil
+	return db.Snapshot(), nil
+}
+
+// jobExtras carries per-submission delta context into enqueue: how the job
+// was planned (adopted ancestor result, partial recompute, dirty subjects)
+// and what to publish into the lineage when it completes.
+type jobExtras struct {
+	adopt   any      // pre-resolved result: finish instantly, no computation
+	deltaH  bool     // job is a delta hit (adopt) or delta partial
+	partial bool     // job re-audits only its dirty subjects
+	dirty   []string // the dirty subjects
+	reg     *lineageReg
+}
+
+// applyPlan folds a delta plan into the extras.
+func (e *jobExtras) applyPlan(p *deltaPlan) {
+	e.deltaH = true
+	if p.adopt != nil {
+		e.adopt = p.adopt
+		return
+	}
+	e.partial = true
+	e.dirty = p.dirty
 }
 
 // enqueue registers a job for the content-addressed computation key: a
-// cache hit finishes instantly, an identical in-flight computation absorbs
-// the job, and otherwise run is queued for the worker pool. Shared by audit
-// submissions and placement recommendations.
-func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx context.Context) (any, error)) (JobStatus, error) {
+// cache hit or an adopted delta ancestor finishes instantly, an identical
+// in-flight computation absorbs the job, and otherwise run is queued for the
+// worker pool. Shared by audit submissions and placement recommendations.
+func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx context.Context) (any, error), extra *jobExtras) (JobStatus, error) {
+	if extra == nil {
+		extra = &jobExtras{}
+	}
 	timeout := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
 		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+
+	if extra.adopt != nil {
+		// Adopted ancestor result: write it through under its new content
+		// address before any waiter can observe "done", like a computed
+		// result (persistResult does IO; the lock is not held yet).
+		evicted := s.persistResult(key, extra.adopt)
+		defer func() {
+			s.mu.Lock()
+			s.dropCachedLocked(evicted, key)
+			s.mu.Unlock()
+		}()
 	}
 
 	s.mu.Lock()
@@ -272,6 +332,27 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		timeout:   timeout,
+	}
+
+	if extra.adopt != nil {
+		// Delta hit: the database changed but the change missed this job's
+		// subjects, so the ancestor result answers it verbatim.
+		s.cache.put(key, extra.adopt)
+		j.state = StateDone
+		j.deltaHit = true
+		j.started, j.finished = j.submitted, j.submitted
+		j.result = retitle(extra.adopt, j.title)
+		close(j.done)
+		s.m.deltaHits.Add(1)
+		if extra.reg != nil {
+			extra.reg.entry.resultKey = key
+			s.lineage.addLocked(extra.reg)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.m.submitted.Add(1)
+		s.pruneLocked()
+		return j.statusLocked(), nil
 	}
 
 	var res any
@@ -314,6 +395,12 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		} else {
 			s.m.cacheHits.Add(1)
 		}
+		if extra.reg != nil {
+			// A hit still anchors a lineage generation — after a restart the
+			// first disk hit re-seeds the ancestry for future delta audits.
+			extra.reg.entry.resultKey = key
+			s.lineage.addLocked(extra.reg)
+		}
 	} else if comp := s.inflight[key]; comp != nil {
 		// Identical computation already queued or running: coalesce.
 		j.state = StateQueued
@@ -323,6 +410,8 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 			s.armTimeoutLocked(j)
 		}
 		j.coalesced = true
+		j.deltaHit = extra.partial
+		j.dirtySubjects = extra.dirty
 		j.comp = comp
 		comp.jobs = append(comp.jobs, j)
 		comp.refs++
@@ -336,6 +425,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 			run:    run,
 			jobs:   []*job{j},
 			refs:   1,
+			reg:    extra.reg,
 		}
 		select {
 		case s.queue <- comp:
@@ -343,6 +433,12 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 			j.comp = comp
 			s.inflight[key] = comp
 			s.m.cacheMisses.Add(1)
+			if extra.partial {
+				j.deltaHit = true
+				j.dirtySubjects = extra.dirty
+				s.m.deltaPartials.Add(1)
+				s.m.deltaDirty.Add(int64(len(extra.dirty)))
+			}
 		default:
 			cancel()
 			s.m.rejected.Add(1)
@@ -459,6 +555,10 @@ func (s *Server) finishLocked(comp *computation, res any, err error) {
 	}
 	if err == nil && res != nil {
 		s.cache.put(comp.key, res)
+		if comp.reg != nil {
+			comp.reg.entry.resultKey = comp.key
+			s.lineage.addLocked(comp.reg)
+		}
 	}
 	now := time.Now()
 	for _, j := range comp.jobs {
@@ -650,7 +750,57 @@ func (s *Server) Stats() Stats {
 		CacheEntries:    entries,
 		Recommendations: s.m.recommendations.Load(),
 		IngestedRecords: s.m.ingestedRecords.Load(),
+
+		DeltaHits:          s.m.deltaHits.Load(),
+		DeltaPartials:      s.m.deltaPartials.Load(),
+		DeltaDirtySubjects: s.m.deltaDirty.Load(),
 	}
+}
+
+// StoreGC applies the persistent store's size/age eviction policy now and
+// mirrors any evictions into the in-memory cache — the same bookkeeping a
+// Put-triggered eviction gets. A memory-only service no-ops. It returns how
+// many entries were evicted.
+func (s *Server) StoreGC() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	evicted, err := s.store.GC()
+	if err != nil {
+		s.m.storeErrors.Add(1)
+	}
+	if len(evicted) > 0 {
+		s.mu.Lock()
+		s.dropCachedLocked(evicted, "")
+		s.mu.Unlock()
+	}
+	return len(evicted), err
+}
+
+// StartStoreGC runs StoreGC every interval until the returned stop function
+// is called, so an idle daemon still enforces -store-max-age: without the
+// ticker, eviction only runs inside Put and a quiet store never ages
+// anything out. Stop is idempotent; a memory-only service (or interval <= 0)
+// gets a no-op.
+func (s *Server) StartStoreGC(interval time.Duration) (stop func()) {
+	if s.store == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.StoreGC() // a GC failure increments auditd_store_errors_total
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Shutdown stops the service gracefully: new submissions are refused
@@ -686,13 +836,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // the job exclusively).
 func (j *job) statusLocked() JobStatus {
 	st := JobStatus{
-		ID:          j.id,
-		State:       j.state,
-		CacheKey:    j.key,
-		Cached:      j.cached,
-		DiskHit:     j.diskHit,
-		Coalesced:   j.coalesced,
-		SubmittedAt: j.submitted,
+		ID:            j.id,
+		State:         j.state,
+		CacheKey:      j.key,
+		Cached:        j.cached,
+		DiskHit:       j.diskHit,
+		Coalesced:     j.coalesced,
+		DeltaHit:      j.deltaHit,
+		DirtySubjects: j.dirtySubjects,
+		SubmittedAt:   j.submitted,
 	}
 	if !j.started.IsZero() {
 		t := j.started

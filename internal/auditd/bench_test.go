@@ -2,10 +2,13 @@ package auditd
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
+	"indaas/internal/core"
 	"indaas/internal/store"
+	"indaas/internal/topology"
 )
 
 // benchServer starts a service, primes it with one completed quickRequest
@@ -77,6 +80,92 @@ func BenchmarkSubmitDiskHit(b *testing.B) {
 		}
 		if st.State != StateDone || !st.DiskHit {
 			b.Fatalf("want disk hit, got %+v", st)
+		}
+	}
+}
+
+// fig7Server boots a memory server whose database holds the network records
+// of a 2-way deployment on a k-port fat tree — the Fig. 7 workload — and
+// returns it with the deployment's audit request (minimal-rg, the exact
+// algorithm the paper times).
+func fig7Server(b *testing.B, k int) (*Server, *SubmitRequest) {
+	b.Helper()
+	ft, err := topology.FatTree(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auditor := core.NewAuditor()
+	if err := auditor.Register("net", core.TopologyAcquirer(ft)); err != nil {
+		b.Fatal(err)
+	}
+	servers := []string{topology.FatTreeServer(0, 0, 0), topology.FatTreeServer(1, 0, 0)}
+	if err := auditor.Acquire(servers...); err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Workers: 1})
+	b.Cleanup(func() { benchShutdown(b, s) })
+	if _, err := s.Ingest(&IngestRequest{Records: WireRecords(auditor.DB().Records())}); err != nil {
+		b.Fatal(err)
+	}
+	req := &SubmitRequest{
+		Title:       "fig7",
+		Deployments: []DeploymentWire{{Name: fmt.Sprintf("fattree-k%d", k), Servers: servers}},
+	}
+	return s, req
+}
+
+// BenchmarkFig7DeltaResubmit is the delta-audit acceptance measurement on
+// the Fig. 7 k=16 workload: each iteration ingests one record unrelated to
+// the audited deployment (which invalidates the content address — the whole
+// multi-minute recompute before delta audits) and re-submits the audit,
+// which must finish instantly as a lineage hit. Compare against
+// BenchmarkFig7ColdAudit, the price every such ingest used to cost.
+func BenchmarkFig7DeltaResubmit(b *testing.B) {
+	s, req := fig7Server(b, 16)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	cold, err := s.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if end, err := s.WaitDone(ctx, cold.ID, time.Minute); err != nil || end.State != StateDone {
+		b.Fatalf("cold audit: %v %+v", err, end)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(&IngestRequest{Records: []RecordWire{
+			{Kind: "hardware", HW: fmt.Sprintf("spare-%d", i), Type: "NIC", Dep: fmt.Sprintf("nic-%d", i)},
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != StateDone || !st.DeltaHit {
+			b.Fatalf("resubmission was not a delta hit: %+v", st)
+		}
+	}
+}
+
+// BenchmarkFig7ColdAudit is the delta benchmark's baseline: the full k=16
+// minimal-RG computation a delta hit avoids.
+func BenchmarkFig7ColdAudit(b *testing.B) {
+	s, req := fig7Server(b, 16)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := *req
+		r.Deployments = []DeploymentWire{{Name: fmt.Sprintf("fattree-k16 #%d", i), Servers: req.Deployments[0].Servers}}
+		st, err := s.Submit(&r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		end, err := s.WaitDone(ctx, st.ID, time.Minute)
+		if err != nil || end.State != StateDone {
+			b.Fatalf("cold audit: %v %+v", err, end)
 		}
 	}
 }

@@ -1,0 +1,406 @@
+// Delta audits: when the dependency database moves from snapshot A to
+// snapshot B, a job submitted against B does not have to recompute from
+// scratch. The server keeps a lineage index — for each database-independent
+// request identity, the recent (fingerprint, snapshot, result address)
+// triples — and diffs the candidate ancestor's snapshot against the current
+// one (cheap: same-database snapshots diff in O(records ingested between
+// them)). Subjects the diff does not reach audit identically against either
+// snapshot (see sia.DirtyDeployments), so:
+//
+//   - if no subject of the request is dirty, the ancestor result is the
+//     answer, byte for byte: it is adopted under the new content address and
+//     the job finishes instantly (JobStatus.DeltaHit, empty DirtySubjects);
+//   - if some subjects are dirty, only those deployments are re-audited and
+//     spliced with the ancestor's clean per-deployment audits, then
+//     re-ranked — producing the same bytes a full recompute would, for the
+//     cost of the dirty cone (DeltaHit with DirtySubjects listing the
+//     re-audited servers).
+//
+// Recommendations delta the same way at candidate granularity: the ancestor
+// search's per-deployment score memo is replayed for every candidate that
+// contains no dirty node, so only moved candidates are re-audited.
+package auditd
+
+import (
+	"context"
+	"fmt"
+
+	"indaas/internal/depdb"
+	"indaas/internal/deps"
+	"indaas/internal/placement"
+	"indaas/internal/report"
+	"indaas/internal/sia"
+)
+
+// Lineage bounds: per request identity the newest lineagePerKey generations
+// are kept; across identities the lineageMaxKeys least recently registered
+// are dropped wholesale. Entries are small — they reference results by
+// content address and snapshots by generation mark — except recommendation
+// score memos, which are capped separately.
+const (
+	lineagePerKey  = 4
+	lineageMaxKeys = 256
+	// lineageMaxScores bounds the recommendation score memos retained —
+	// both per memo (recommend.go drops a larger memo at the source) and in
+	// aggregate across the whole index (addLocked strips the oldest memos
+	// past the budget, keeping their cheap fp/resultKey entries). A dropped
+	// memo only costs a full re-search; an exact search over a huge pool is
+	// cheaper to redo than to pin tens of MB per retained generation.
+	lineageMaxScores = 250_000
+)
+
+// lineageEntry records one computed (or adopted) result generation.
+type lineageEntry struct {
+	resultKey string
+	fp        string
+	snap      *depdb.Snapshot
+	// Audit jobs: the graph specs the result was computed for.
+	specs []sia.GraphSpec
+	// Recommendation jobs: the kinds filter, the node universe
+	// (pool ∪ fixed), and the search's score memo.
+	kinds  []deps.Kind
+	nodes  []string
+	scores map[string]placement.Score
+}
+
+// lineageReg is the registration a submission carries through the job
+// machinery: on successful completion the entry is published under reqKey.
+type lineageReg struct {
+	reqKey string
+	entry  *lineageEntry
+}
+
+// lineageIndex maps request identities to their recent result generations.
+// Guarded by Server.mu.
+type lineageIndex struct {
+	entries map[string][]*lineageEntry // newest last
+	order   []string                   // reqKeys, least recently registered first
+	// scoreTotal tracks the retained recommendation score entries across
+	// every lineage entry, enforcing the aggregate lineageMaxScores budget.
+	scoreTotal int
+}
+
+func newLineageIndex() *lineageIndex {
+	return &lineageIndex{entries: make(map[string][]*lineageEntry)}
+}
+
+// addLocked publishes an entry, deduplicating by fingerprint and enforcing
+// the retention bounds. Registering a known identity refreshes its recency,
+// so the keys evicted past lineageMaxKeys really are the least recently
+// registered ones. Caller holds Server.mu.
+func (l *lineageIndex) addLocked(reg *lineageReg) {
+	if reg == nil || reg.entry == nil || reg.entry.resultKey == "" {
+		return
+	}
+	es, known := l.entries[reg.reqKey]
+	for _, e := range es {
+		if e.fp == reg.entry.fp {
+			return // this generation is already represented
+		}
+	}
+	if known {
+		for i, k := range l.order {
+			if k == reg.reqKey {
+				l.order = append(append(l.order[:i:i], l.order[i+1:]...), k)
+				break
+			}
+		}
+	} else {
+		l.order = append(l.order, reg.reqKey)
+	}
+	l.scoreTotal += len(reg.entry.scores)
+	es = append(es, reg.entry)
+	for len(es) > lineagePerKey {
+		l.scoreTotal -= len(es[0].scores)
+		es = es[1:]
+	}
+	l.entries[reg.reqKey] = es
+	for len(l.entries) > lineageMaxKeys && len(l.order) > 0 {
+		oldest := l.order[0]
+		l.order = l.order[1:]
+		for _, e := range l.entries[oldest] {
+			l.scoreTotal -= len(e.scores)
+		}
+		delete(l.entries, oldest)
+	}
+	l.enforceScoreBudgetLocked()
+}
+
+// enforceScoreBudgetLocked strips score memos, oldest identity first, until
+// the aggregate budget holds. The entries themselves stay — fingerprints,
+// snapshots and result addresses are cheap and keep whole-result adoption
+// working; only seeded partial re-scoring falls back to a full search.
+// Adoption-chained entries share one memo map, and the budget counts each
+// retaining reference, erring toward keeping less.
+func (l *lineageIndex) enforceScoreBudgetLocked() {
+	for _, key := range l.order {
+		if l.scoreTotal <= lineageMaxScores {
+			return
+		}
+		for _, e := range l.entries[key] {
+			if len(e.scores) == 0 {
+				continue
+			}
+			l.scoreTotal -= len(e.scores)
+			e.scores = nil
+			if l.scoreTotal <= lineageMaxScores {
+				return
+			}
+		}
+	}
+}
+
+// lookupLocked returns copies of the retained generations for a request
+// identity, newest last, safe to inspect after releasing Server.mu: the
+// struct copies pin their scores-map references even if the budget enforcer
+// strips the originals concurrently, and everything the fields point to
+// (snapshots, specs, score maps) is never mutated after publication.
+func (l *lineageIndex) lookupLocked(reqKey string) []*lineageEntry {
+	es := l.entries[reqKey]
+	out := make([]*lineageEntry, len(es))
+	for i, e := range es {
+		cp := *e
+		out[i] = &cp
+	}
+	return out
+}
+
+// deltaPlan is the outcome of delta planning for one submission.
+type deltaPlan struct {
+	// adopt, when non-nil, is an ancestor result valid verbatim for the new
+	// database generation: the job can finish without touching the queue.
+	adopt any
+	// run, when set, replaces the full recompute with a partial one that
+	// re-audits only the dirty subjects.
+	run func(ctx context.Context) (any, error)
+	// dirty lists the re-audited subjects (empty for adopt).
+	dirty []string
+	// scores, for an adopted recommendation, is the ancestor's score memo —
+	// chained onto the new generation's lineage entry so delta searches keep
+	// working across consecutive clean ingests.
+	scores map[string]placement.Score
+}
+
+// planAuditDelta looks for an ancestor result to reuse for an audit
+// submission against the server database. It returns nil when no usable
+// ancestor exists (first audit of this shape, lineage evicted, ancestor
+// result no longer retrievable) — the caller then runs the full compute.
+func (s *Server) planAuditDelta(reqKey, key string, snap *depdb.Snapshot, specs []sia.GraphSpec, opts sia.Options) *deltaPlan {
+	type candidate struct {
+		entry    *lineageEntry
+		dirty    []bool
+		subjects []string
+		nDirty   int
+	}
+	s.mu.Lock()
+	if _, hit := s.cache.get(key); hit {
+		s.mu.Unlock()
+		return nil // plain content-addressed hit; enqueue handles it
+	}
+	entries := s.lineage.lookupLocked(reqKey)
+	s.mu.Unlock()
+	// Diffing and dirty analysis run without Server.mu: entries are
+	// immutable once published, and the work is O(records ingested since
+	// the ancestor) — fine for this submission, not for every concurrent
+	// submit and poll serialized behind the job-table lock.
+	var full, partial *candidate
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if e.fp == snap.Fingerprint() || len(e.specs) == 0 {
+			continue
+		}
+		diff := e.snap.Diff(snap)
+		if diff.Empty() {
+			continue
+		}
+		dirty, subjects := sia.DirtyDeployments(specs, diff)
+		n := 0
+		for _, d := range dirty {
+			if d {
+				n++
+			}
+		}
+		c := &candidate{entry: e, dirty: dirty, subjects: subjects, nDirty: n}
+		if n == 0 {
+			full = c
+			break // newest clean ancestor wins outright
+		}
+		if partial == nil {
+			partial = c // newest ancestor: smallest expected dirty cone
+		}
+	}
+
+	chosen := full
+	if chosen == nil {
+		chosen = partial
+	}
+	if chosen == nil || chosen.nDirty == len(specs) {
+		return nil // nothing to reuse, or everything dirty anyway
+	}
+	ancestor, ok := s.retrieveResult(chosen.entry.resultKey)
+	if !ok {
+		return nil
+	}
+	oldRep, ok := ancestor.(*report.Report)
+	if !ok {
+		return nil
+	}
+	if chosen.nDirty == 0 {
+		return &deltaPlan{adopt: ancestor}
+	}
+	dirty := chosen.dirty
+	return &deltaPlan{
+		dirty: chosen.subjects,
+		run: func(ctx context.Context) (any, error) {
+			return spliceAudit(ctx, snap, specs, opts, oldRep, dirty)
+		},
+	}
+}
+
+// planRecommendDelta is planAuditDelta's analogue for placement
+// recommendations. A clean pool adopts the ancestor response whole; a
+// partially dirty pool seeds the search with the ancestor's scores for every
+// candidate free of dirty nodes.
+func (s *Server) planRecommendDelta(reqKey, key string, snap *depdb.Snapshot, preq *placement.Request, kinds []deps.Kind, universe []string) *deltaPlan {
+	s.mu.Lock()
+	if _, hit := s.cache.get(key); hit {
+		s.mu.Unlock()
+		return nil
+	}
+	entries := s.lineage.lookupLocked(reqKey)
+	s.mu.Unlock()
+	var chosen *lineageEntry
+	var dirtyNodes []string
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if e.fp == snap.Fingerprint() || len(e.nodes) == 0 {
+			continue
+		}
+		diff := e.snap.Diff(snap)
+		if diff.Empty() {
+			continue
+		}
+		dirty := intersectSorted(sia.DirtySubjects(diff, kinds), universe)
+		if len(dirty) == 0 {
+			chosen, dirtyNodes = e, nil
+			break
+		}
+		if chosen == nil && len(e.scores) > 0 {
+			chosen, dirtyNodes = e, dirty
+		}
+	}
+
+	if chosen == nil || len(dirtyNodes) == len(universe) {
+		return nil
+	}
+	if len(dirtyNodes) == 0 {
+		ancestor, ok := s.retrieveResult(chosen.resultKey)
+		if !ok {
+			return nil
+		}
+		if _, isRec := ancestor.(*RecommendResponse); !isRec {
+			return nil
+		}
+		return &deltaPlan{adopt: ancestor, scores: chosen.scores}
+	}
+	seed := make(map[string]placement.Score, len(chosen.scores))
+	dirtySet := make(map[string]bool, len(dirtyNodes))
+	for _, n := range dirtyNodes {
+		dirtySet[n] = true
+	}
+seeding:
+	for k, sc := range chosen.scores {
+		for _, n := range placement.KeyNodes(k) {
+			if dirtySet[n] {
+				continue seeding
+			}
+		}
+		seed[k] = sc
+	}
+	if len(seed) == 0 {
+		return nil // nothing reusable; a plain full search is equivalent
+	}
+	preq.SeedScores = seed
+	return &deltaPlan{dirty: dirtyNodes}
+}
+
+// retrieveResult fetches a completed result by content address from the
+// memory tier, falling back to the disk store. Never called with Server.mu
+// held — the disk probe does IO.
+func (s *Server) retrieveResult(key string) (any, bool) {
+	s.mu.Lock()
+	res, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	return s.diskGet(key)
+}
+
+// spliceAudit produces the report a full recompute against db would produce,
+// re-auditing only the dirty specs and taking the rest verbatim from the
+// ancestor report. Clean specs' fault graphs are identical between the two
+// snapshots (that is what clean means), so the spliced report matches the
+// full recompute byte for byte.
+func spliceAudit(ctx context.Context, db depdb.Reader, specs []sia.GraphSpec, opts sia.Options, old *report.Report, dirty []bool) (*report.Report, error) {
+	pool := make(map[string][]report.DeploymentAudit, len(old.Audits))
+	for _, a := range old.Audits {
+		id := auditIdentity(a.Deployment, a.Sources)
+		pool[id] = append(pool[id], a)
+	}
+	rep := &report.Report{}
+	for i, spec := range specs {
+		if !dirty[i] {
+			id := auditIdentity(spec.Deployment, spec.Servers)
+			if as := pool[id]; len(as) > 0 {
+				rep.Audits = append(rep.Audits, as[0])
+				pool[id] = as[1:]
+				continue
+			}
+			// Defensive: the ancestor should always carry a clean spec's
+			// audit; recompute rather than fail if it somehow does not.
+		}
+		g, err := sia.BuildGraph(db, spec)
+		if err != nil {
+			return nil, err
+		}
+		audit, err := sia.AuditContext(ctx, g, spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sia: auditing %q: %w", spec.Deployment, err)
+		}
+		rep.Audits = append(rep.Audits, *audit)
+	}
+	if opts.RankMode == sia.RankByProb {
+		rep.Rank(report.CompareByFailureProb)
+	} else {
+		rep.Rank(report.CompareBySizeVector)
+	}
+	return rep, nil
+}
+
+// auditIdentity names a deployment audit within one request shape. Within a
+// lineage the specs are fixed (same requestKey), so name+sources is a
+// faithful identity; duplicates are consumed multiset-style by the splicer.
+func auditIdentity(name string, sources []string) string {
+	id := name
+	for _, s := range sources {
+		id += "\x1f" + s
+	}
+	return id
+}
+
+// intersectSorted returns the members of sorted that appear in universe,
+// preserving order.
+func intersectSorted(sorted, universe []string) []string {
+	in := make(map[string]bool, len(universe))
+	for _, u := range universe {
+		in[u] = true
+	}
+	var out []string
+	for _, s := range sorted {
+		if in[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package auditd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"indaas/internal/store"
+)
+
+// testClock is a settable clock for the store's Now hook.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestStoreGCEvictsIdleDaemon is the -store-max-age fix: with no writes
+// arriving, the background GC ticker must still age results out of the disk
+// store AND the memory LRU. The store runs on a fake clock, so the test
+// advances age without waiting.
+func TestStoreGCEvictsIdleDaemon(t *testing.T) {
+	clock := &testClock{t: time.Unix(1_700_000_000, 0)}
+	st, err := store.Open(store.Options{Dir: t.TempDir(), MaxAge: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(Config{Workers: 1, Store: st})
+	defer gracefulShutdown(t, s)
+
+	first := mustSubmit(t, s, quickRequest("ages-out"))
+	waitDone(t, s, first.ID)
+	if st.Stats().ResultBytes == 0 {
+		t.Fatal("result not persisted")
+	}
+
+	// The daemon now goes idle; only the ticker runs. Without it, MaxAge
+	// would be a no-op until the next Put.
+	clock.advance(2 * time.Hour)
+	stop := s.StartStoreGC(5 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Evictions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker never evicted the aged result: %+v", st.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+
+	if s.Stats().StoreEvictions == 0 {
+		t.Fatalf("disk eviction was not mirrored into the daemon: %+v", s.Stats())
+	}
+	// Both tiers dropped the entry: an identical submission recomputes.
+	again := mustSubmit(t, s, quickRequest("ages-out"))
+	if again.Cached || again.DiskHit {
+		t.Fatalf("aged-out result still served: %+v", again)
+	}
+	waitDone(t, s, again.ID)
+}
+
+// TestStoreGCDirect covers the synchronous entry point and the memory-only
+// no-op.
+func TestStoreGCDirect(t *testing.T) {
+	clock := &testClock{t: time.Unix(1_700_000_000, 0)}
+	st, err := store.Open(store.Options{Dir: t.TempDir(), MaxAge: time.Minute, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(Config{Workers: 1, Store: st})
+	defer gracefulShutdown(t, s)
+	j := mustSubmit(t, s, quickRequest("gc"))
+	waitDone(t, s, j.ID)
+
+	if n, err := s.StoreGC(); err != nil || n != 0 {
+		t.Fatalf("young entry evicted: n=%d err=%v", n, err)
+	}
+	clock.advance(time.Hour)
+	n, err := s.StoreGC()
+	if err != nil || n == 0 {
+		t.Fatalf("aged entry survived GC: n=%d err=%v", n, err)
+	}
+
+	plain := New(Config{Workers: 1})
+	defer gracefulShutdown(t, plain)
+	if n, err := plain.StoreGC(); err != nil || n != 0 {
+		t.Fatalf("memory-only StoreGC: n=%d err=%v", n, err)
+	}
+	plain.StartStoreGC(time.Millisecond)() // no-op stop must not panic
+}

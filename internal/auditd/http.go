@@ -105,8 +105,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}{s.Jobs()})
 }
 
+// maxStatusWait caps one ?wait long-poll. A wait above the cap is silently
+// truncated and the response may carry a NON-terminal state with code 200 —
+// clients must keep polling until the state is terminal (Client.WaitDone
+// does) rather than treat any 200 as completion. A variable so tests can
+// shrink the cap.
+var maxStatusWait = time.Minute
+
 // handleStatus returns a job's status; ?wait=5s long-polls until the job is
-// terminal or the wait elapses (capped at one minute).
+// terminal or the wait elapses (capped at maxStatusWait).
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	var wait time.Duration
 	if v := r.URL.Query().Get("wait"); v != "" {
@@ -115,8 +122,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, 400, errorBody{Error: "bad wait duration"})
 			return
 		}
-		if d > time.Minute {
-			d = time.Minute
+		if d > maxStatusWait {
+			d = maxStatusWait
 		}
 		wait = d
 	}

@@ -32,8 +32,11 @@ type IngestResponse struct {
 // registering a fresh snapshot. All records are stored or none. Jobs
 // submitted earlier keep auditing the snapshot they resolved at submission
 // time; jobs submitted after see the grown database (and a new cache-key
-// fingerprint). On a durable service the new snapshot is persisted before
-// the response is written: an acknowledged ingest survives a hard kill.
+// fingerprint). On a durable service the batch is persisted — as one
+// snapshot-chain segment, with the post-ingest fingerprint previewed via
+// depdb.FingerprintWith — before the response is written: an acknowledged
+// ingest survives a hard kill, and the request costs O(batch) work no
+// matter how large the database has grown.
 func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	if len(req.Records) == 0 {
 		return IngestResponse{}, &statusErr{code: 400, err: errors.New("ingest has no records")}
@@ -58,36 +61,29 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	db := s.db
 	s.mu.Unlock()
 
-	// ingestMu serializes the Put with its snapshot persistence: without it
-	// two concurrent ingests could leave the durable current-snapshot
-	// pointer on the one that finished persisting last rather than the one
-	// holding both record sets. Put itself is atomic (all records or none)
-	// and safe against concurrent snapshot readers; the job-table lock is
-	// not held across it.
+	// ingestMu serializes the Put with its segment persistence: without it
+	// two concurrent ingests could append segments under the same index and
+	// leave the durable chain missing one of the batches. Put itself is
+	// atomic (all records or none) and safe against concurrent snapshot
+	// readers; the job-table lock is not held across it.
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 
-	// On a durable service, stage and persist the post-ingest snapshot
-	// BEFORE committing to the live database: a failed disk write then
-	// leaves the memory DB untouched, so the client's retry cannot
-	// duplicate records (depdb.Put appends blindly and duplicates change
-	// the canonical fingerprint).
+	// On a durable service, persist the batch BEFORE committing to the live
+	// database: a failed disk write then leaves the memory DB untouched, so
+	// the client's retry cannot duplicate records (depdb.Put appends blindly
+	// and duplicates change the canonical fingerprint). Only the batch (and,
+	// the first time, the pre-existing records) is written — never a copy of
+	// the whole database per request.
 	if s.store != nil {
-		staged := depdb.New()
-		if err := staged.Put(db.Snapshot().Records()...); err != nil {
-			return IngestResponse{}, &statusErr{code: 500, err: err}
-		}
-		if err := staged.Put(records...); err != nil {
-			return IngestResponse{}, &statusErr{code: 400, err: err}
-		}
-		if err := s.persistSnapshot(staged.Snapshot()); err != nil {
+		if err := s.persistIngestLocked(db, records); err != nil {
 			s.m.storeErrors.Add(1)
 			return IngestResponse{}, &statusErr{code: 500, err: fmt.Errorf("snapshot not persisted, no records ingested (safe to retry): %w", err)}
 		}
 	}
 	if err := db.Put(records...); err != nil {
 		// Unreachable after the per-record validation above, but never
-		// silently diverge memory from the persisted snapshot.
+		// silently diverge memory from the persisted snapshot chain.
 		return IngestResponse{}, &statusErr{code: 500, err: err}
 	}
 	s.m.ingestedRecords.Add(int64(len(records)))

@@ -1,0 +1,96 @@
+package auditd
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"indaas/internal/store"
+)
+
+func benchShutdown(b *testing.B, s *Server) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+}
+
+// seedIngested boots a durable server whose database already holds total
+// records (persisted through the ingest path, like production data).
+func seedIngested(tb testing.TB, total int) *Server {
+	tb.Helper()
+	st, err := store.Open(store.Options{Dir: tb.TempDir(), NoSync: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { st.Close() })
+	s := New(Config{Workers: 1, Store: st})
+	var batch []RecordWire
+	for i := 0; len(batch)*1 < total; i++ {
+		batch = append(batch, RecordWire{
+			Kind: "hardware", HW: fmt.Sprintf("seed-%d", i), Type: "Disk", Dep: fmt.Sprintf("seed-%d-disk", i),
+		})
+	}
+	batch = batch[:total]
+	if _, err := s.Ingest(&IngestRequest{Records: batch}); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// ingestBatch pushes a 3-record batch about a fresh machine.
+func ingestBatch(tb testing.TB, s *Server, seq int) {
+	tb.Helper()
+	m := fmt.Sprintf("live-%d", seq)
+	_, err := s.Ingest(&IngestRequest{Records: []RecordWire{
+		{Kind: "network", Src: m, Dst: "Internet", Route: []string{"tor-" + m, "Core1"}},
+		{Kind: "hardware", HW: m, Type: "Disk", Dep: m + "-disk"},
+		{Kind: "software", Pgm: "nginx", HW: m, Deps: []string{"libc6"}},
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestIngestCostIsBatchBound is the O(batch) proof that doesn't depend on
+// wall-clock noise: the allocations per ingest must not scale with the
+// database size. Before the fix, every ingest re-materialized and re-encoded
+// the whole database (staged.Put(db.Snapshot().Records()...)), so a 10×
+// larger database meant ~10× the allocations per request.
+func TestIngestCostIsBatchBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation profiling fixture")
+	}
+	measure := func(total int) float64 {
+		s := seedIngested(t, total)
+		defer gracefulShutdown(t, s)
+		seq := 0
+		return testing.AllocsPerRun(20, func() {
+			ingestBatch(t, s, seq)
+			seq++
+		})
+	}
+	small := measure(500)
+	big := measure(5000)
+	if big > 3*small {
+		t.Fatalf("ingest allocations scale with database size: %.0f allocs at 500 records vs %.0f at 5000", small, big)
+	}
+}
+
+// BenchmarkIngest measures one 3-record ingest against databases of
+// increasing size on a durable server. O(batch) ingest shows as a flat
+// ns/op column; the pre-fix O(total) staging showed linear growth.
+func BenchmarkIngest(b *testing.B) {
+	for _, total := range []int{1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("base=%d", total), func(b *testing.B) {
+			s := seedIngested(b, total)
+			b.Cleanup(func() { benchShutdown(b, s) })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ingestBatch(b, s, i)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package auditd
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestStatusWaitCapAndClientLoops pins the long-poll contract: the server
+// silently truncates ?wait at maxStatusWait and answers 200 with a
+// NON-terminal state, and Client.WaitDone must treat that as "keep polling",
+// not completion. The cap is shrunk so one WaitDone call provably spans
+// several truncated polls.
+func TestStatusWaitCapAndClientLoops(t *testing.T) {
+	oldCap := maxStatusWait
+	maxStatusWait = 30 * time.Millisecond
+	defer func() { maxStatusWait = oldCap }()
+
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Occupy the only worker so the target job stays queued for a while.
+	blocker, err := c.Submit(ctx, slowRequest("blocker", 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := c.Submit(ctx, quickRequest("target"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A wait far above the cap returns quickly — 200 with a non-terminal
+	// state, NOT an error and NOT completion.
+	start := time.Now()
+	st, err := c.Status(ctx, target.ID, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("capped long-poll took %v", since)
+	}
+	if st.State == StateDone {
+		t.Fatal("queued job cannot be done")
+	}
+
+	// Release the worker after several cap windows; WaitDone must survive
+	// every early return in between and only come back terminal.
+	release := 10 * maxStatusWait
+	go func() {
+		time.Sleep(release)
+		c.Cancel(context.Background(), blocker.ID)
+	}()
+	start = time.Now()
+	end, err := c.WaitDone(ctx, target.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.State != StateDone {
+		t.Fatalf("target finished %s (%s)", end.State, end.Error)
+	}
+	if waited := time.Since(start); waited < release {
+		t.Fatalf("WaitDone returned after %v, before the worker was even free (%v) — it treated an early return as completion", waited, release)
+	}
+}

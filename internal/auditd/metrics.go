@@ -25,6 +25,10 @@ type metrics struct {
 	recommendations atomic.Int64 // placement recommendation jobs accepted
 	ingestedRecords atomic.Int64 // dependency records accepted via /v1/depdb
 
+	deltaHits     atomic.Int64 // jobs answered whole from an ancestor result
+	deltaPartials atomic.Int64 // jobs that recomputed only their dirty subjects
+	deltaDirty    atomic.Int64 // dirty subjects across all delta-partial jobs
+
 	storeHits      atomic.Int64 // jobs answered from the disk store
 	storeEvictions atomic.Int64 // disk evictions mirrored into the memory LRU
 	storeErrors    atomic.Int64 // persist/encode failures (results kept in memory)
@@ -50,6 +54,14 @@ type Stats struct {
 	Recommendations int64
 	IngestedRecords int64
 
+	// DeltaHits counts jobs answered entirely from an ancestor result after
+	// a database change that missed their subjects; DeltaPartials counts
+	// jobs that re-audited only their dirty subjects and spliced the rest;
+	// DeltaDirtySubjects totals the dirty subjects across partial jobs.
+	DeltaHits          int64
+	DeltaPartials      int64
+	DeltaDirtySubjects int64
+
 	// StoreEnabled reports whether the service runs with a persistent
 	// store; the Store* fields below are only meaningful when it does.
 	StoreEnabled   bool
@@ -60,13 +72,13 @@ type Stats struct {
 }
 
 // HitRate is the fraction of accepted jobs that did not need their own
-// computation (memory cache hits, disk store hits, and in-flight
-// coalescing).
+// computation (memory cache hits, disk store hits, delta lineage hits, and
+// in-flight coalescing).
 func (s Stats) HitRate() float64 {
 	if s.Submitted == 0 {
 		return 0
 	}
-	return float64(s.CacheHits+s.StoreHits+s.Coalesced) / float64(s.Submitted)
+	return float64(s.CacheHits+s.StoreHits+s.DeltaHits+s.Coalesced) / float64(s.Submitted)
 }
 
 // render writes the counters in the Prometheus text exposition format.
@@ -88,6 +100,9 @@ func (s Stats) render(w io.Writer) {
 	counter("auditd_computations_total", "Computations executed by the worker pool.", s.Computations)
 	counter("auditd_recommendations_total", "Placement recommendation jobs accepted.", s.Recommendations)
 	counter("auditd_depdb_ingested_records_total", "Dependency records accepted via /v1/depdb.", s.IngestedRecords)
+	counter("auditd_delta_hits_total", "Jobs answered whole from an ancestor result (database changed, subjects untouched).", s.DeltaHits)
+	counter("auditd_delta_partial_total", "Jobs that re-audited only their dirty subjects and spliced the rest.", s.DeltaPartials)
+	counter("auditd_delta_dirty_subjects_total", "Dirty subjects re-audited across delta-partial jobs.", s.DeltaDirtySubjects)
 	gauge("auditd_cache_hit_rate", "Fraction of jobs served without a dedicated computation.", s.HitRate())
 	gauge("auditd_cache_entries", "Reports currently in the result cache.", s.CacheEntries)
 	gauge("auditd_queue_depth", "Computations waiting for a worker.", s.QueueDepth)

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"indaas/internal/depdb"
+	"indaas/internal/deps"
 	"indaas/internal/report"
 	"indaas/internal/store"
 )
@@ -13,13 +15,54 @@ import (
 // Store key namespaces. Result entries use the raw content address (a
 // SHA-256 hex string, which never contains '/'); DepDB entries live under
 // the depdb/ prefix so the two spaces cannot collide.
+//
+// The dependency database persists as a *snapshot chain*: depdb/current
+// holds a snapMeta naming a generation and its segment count, and
+// depdb/seg/<gen>/<i> holds the i-th batch of records (Table 1 XML). Each
+// ingest appends one segment — O(batch) bytes — instead of rewriting the
+// whole database; RestoreDB replays the chain in order and consolidates it
+// back to a single segment, so chains stay short across restarts and a
+// crash between writes is harmless (the current pointer flips only after
+// the segment it names is durable).
 const (
-	// snapshotKeyPrefix + fingerprint stores an encoded DepDB snapshot.
-	snapshotKeyPrefix = "depdb/"
-	// currentSnapshotKey stores the fingerprint of the snapshot a restarted
-	// daemon should serve.
+	// currentSnapshotKey stores the snapMeta of the chain a restarted
+	// daemon should replay.
 	currentSnapshotKey = "depdb/current"
+	// segmentKeyPrefix + "<gen>/<i>" stores one ingested batch.
+	segmentKeyPrefix = "depdb/seg/"
+	// legacySnapshotPrefix is the pre-chain layout: one whole-database
+	// snapshot under its fingerprint, named by a raw-string current pointer.
+	// RestoreDB migrates it forward.
+	legacySnapshotPrefix = "depdb/"
 )
+
+// snapMeta is the JSON value of currentSnapshotKey: which generation of the
+// snapshot chain is live, how many segments it has, and the canonical
+// fingerprint replaying them must reproduce.
+type snapMeta struct {
+	Fingerprint string `json:"fingerprint"`
+	Gen         int    `json:"gen"`
+	Segments    int    `json:"segments"`
+}
+
+func segmentKey(gen, i int) string {
+	return fmt.Sprintf("%s%d/%d", segmentKeyPrefix, gen, i)
+}
+
+// readSnapMeta loads the persisted chain state; a missing or legacy-format
+// pointer yields the zero meta (Segments == 0 ⇒ nothing persisted yet, so
+// the next ingest starts a fresh generation with a full base segment).
+func readSnapMeta(st *store.Store) snapMeta {
+	var meta snapMeta
+	blob, _, ok, err := st.Get(currentSnapshotKey)
+	if err != nil || !ok {
+		return snapMeta{}
+	}
+	if json.Unmarshal(blob, &meta) != nil || meta.Segments <= 0 {
+		return snapMeta{}
+	}
+	return meta
+}
 
 // persistedResult is the disk envelope for a completed computation: a kind
 // tag telling the decoder which concrete wire type the payload holds.
@@ -72,35 +115,137 @@ func decodeResult(blob []byte) (any, error) {
 }
 
 // RestoreDB rebuilds the dependency database a crashed or restarted daemon
-// was serving: the persisted current DepDB snapshot, loaded into a fresh
+// was serving by replaying the persisted snapshot chain, loaded into a fresh
 // mutable database so later ingests keep working. It returns nil (and no
 // error) when the store holds no snapshot. The restored database reproduces
 // the pre-restart canonical fingerprint, so cached results computed against
-// it stay addressable.
+// it stay addressable. A chain longer than one segment is consolidated back
+// to a single segment while the daemon is still offline — the one moment
+// O(database) persistence work is acceptable — and stale generations are
+// swept.
 func RestoreDB(st *store.Store) (*depdb.DB, error) {
-	fpBlob, _, ok, err := st.Get(currentSnapshotKey)
+	blob, _, ok, err := st.Get(currentSnapshotKey)
 	if err != nil {
 		return nil, fmt.Errorf("auditd: reading current snapshot pointer: %w", err)
 	}
 	if !ok {
 		return nil, nil
 	}
-	fp := string(fpBlob)
-	blob, _, ok, err := st.Get(snapshotKeyPrefix + fp)
+	var meta snapMeta
+	if json.Unmarshal(blob, &meta) != nil || meta.Segments <= 0 {
+		return restoreLegacyDB(st, strings.TrimSpace(string(blob)))
+	}
+	db := depdb.New()
+	for i := 0; i < meta.Segments; i++ {
+		seg, _, ok, err := st.Get(segmentKey(meta.Gen, i))
+		if err != nil {
+			return nil, fmt.Errorf("auditd: reading snapshot segment %d/%d: %w", meta.Gen, i, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("auditd: store names a %d-segment chain but segment %d/%d is missing", meta.Segments, meta.Gen, i)
+		}
+		records, err := deps.DecodeXML(bytes.NewReader(seg))
+		if err != nil {
+			return nil, fmt.Errorf("auditd: decoding snapshot segment %d/%d: %w", meta.Gen, i, err)
+		}
+		if err := db.Put(records...); err != nil {
+			return nil, fmt.Errorf("auditd: replaying snapshot segment %d/%d: %w", meta.Gen, i, err)
+		}
+	}
+	if got := db.Fingerprint(); got != meta.Fingerprint {
+		return nil, fmt.Errorf("auditd: snapshot chain stored as %s replays to fingerprint %s", meta.Fingerprint, got)
+	}
+	live := meta
+	if meta.Segments > 1 {
+		next, err := consolidateChain(st, db, meta)
+		if err != nil {
+			return nil, err
+		}
+		live = next
+	}
+	sweepStaleSegments(st, live)
+	return db, nil
+}
+
+// restoreLegacyDB migrates a pre-chain store: the current pointer held a raw
+// fingerprint string and the whole database sat under depdb/<fp>. The
+// fingerprint algorithm has changed since, so the entry is re-addressed
+// under a fresh single-segment chain and the legacy keys are deleted.
+func restoreLegacyDB(st *store.Store, legacyFP string) (*depdb.DB, error) {
+	if legacyFP == "" {
+		return nil, nil
+	}
+	blob, _, ok, err := st.Get(legacySnapshotPrefix + legacyFP)
 	if err != nil {
-		return nil, fmt.Errorf("auditd: reading snapshot %s: %w", fp, err)
+		return nil, fmt.Errorf("auditd: reading legacy snapshot %s: %w", legacyFP, err)
 	}
 	if !ok {
-		return nil, fmt.Errorf("auditd: store names current snapshot %s but holds no entry for it", fp)
+		return nil, fmt.Errorf("auditd: store names current snapshot %s but holds no entry for it", legacyFP)
 	}
 	db, err := depdb.DecodeDB(bytes.NewReader(blob))
 	if err != nil {
 		return nil, err
 	}
-	if got := db.Fingerprint(); got != fp {
-		return nil, fmt.Errorf("auditd: snapshot stored as %s decodes to fingerprint %s", fp, got)
+	meta := snapMeta{Fingerprint: db.Fingerprint(), Gen: 1, Segments: 1}
+	if _, err := writeChain(st, db.Records(), meta); err != nil {
+		return nil, fmt.Errorf("auditd: migrating legacy snapshot: %w", err)
 	}
+	st.Delete(legacySnapshotPrefix + legacyFP) // best-effort; superseded
 	return db, nil
+}
+
+// consolidateChain rewrites a multi-segment chain as one segment under the
+// next generation and deletes the old generation's segments. The new
+// generation is fully durable before the current pointer flips, so a crash
+// at any point leaves a replayable chain.
+func consolidateChain(st *store.Store, db *depdb.DB, meta snapMeta) (snapMeta, error) {
+	next := snapMeta{Fingerprint: meta.Fingerprint, Gen: meta.Gen + 1, Segments: 1}
+	if _, err := writeChain(st, db.Records(), next); err != nil {
+		return meta, fmt.Errorf("auditd: consolidating snapshot chain: %w", err)
+	}
+	for i := 0; i < meta.Segments; i++ {
+		st.Delete(segmentKey(meta.Gen, i)) // best-effort; swept on next boot
+	}
+	return next, nil
+}
+
+// writeChain persists records as a fresh single-segment chain and flips the
+// current pointer to it, returning any result keys the store evicted to
+// stay in budget (empty at boot time, when only RestoreDB calls write).
+func writeChain(st *store.Store, records []deps.Record, meta snapMeta) ([]string, error) {
+	var buf bytes.Buffer
+	if err := deps.EncodeXML(&buf, records); err != nil {
+		return nil, err
+	}
+	evicted, err := st.Put(segmentKey(meta.Gen, 0), store.KindSnapshot, buf.Bytes())
+	if err != nil {
+		return evicted, err
+	}
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return evicted, err
+	}
+	ev2, err := st.Put(currentSnapshotKey, store.KindMeta, blob)
+	return append(evicted, ev2...), err
+}
+
+// sweepStaleSegments deletes snapshot segments of any generation other than
+// the live one — residue of crashes between a consolidation's writes. The
+// caller passes the chain meta it just replayed (never re-read here: a
+// transient read failure must not be mistaken for "no chain", which would
+// delete the live generation and leave the store unbootable). With no live
+// chain there is nothing to distinguish stale from, so nothing is swept.
+func sweepStaleSegments(st *store.Store, live snapMeta) {
+	if live.Segments <= 0 {
+		return
+	}
+	prefix := fmt.Sprintf("%s%d/", segmentKeyPrefix, live.Gen)
+	for _, e := range st.Entries() {
+		if !strings.HasPrefix(e.Key, segmentKeyPrefix) || strings.HasPrefix(e.Key, prefix) {
+			continue
+		}
+		st.Delete(e.Key)
+	}
 }
 
 // diskGet serves a content address from the disk store after an in-memory
@@ -143,37 +288,52 @@ func (s *Server) persistResult(key string, res any) []string {
 	return evicted
 }
 
-// persistSnapshot makes an ingested DepDB snapshot durable: the encoded
-// snapshot under its canonical fingerprint, the current pointer for restart
-// recovery, and deletion of the superseded snapshot. Caller holds
-// s.ingestMu, which serializes persisted snapshots with their ingests.
-func (s *Server) persistSnapshot(snap *depdb.Snapshot) error {
-	if s.store == nil {
-		return nil
+// persistIngestLocked makes one ingest batch durable before it is committed
+// to the live database. The steady-state cost is O(batch): the batch is
+// appended as one new chain segment and the current pointer advances. Only
+// the very first durable write of a database (nothing persisted yet — e.g. a
+// -deps preload about to take its first ingest) pays O(database) to lay down
+// the base segment. Crash ordering: the segment is durable before the
+// pointer names it, and the pointer is durable before the ingest is
+// acknowledged, so every acknowledged ingest replays and every crash leaves
+// a consistent chain (an orphaned segment from an unacknowledged ingest is
+// overwritten by the retry or swept at boot). Caller holds s.ingestMu.
+func (s *Server) persistIngestLocked(db *depdb.DB, batch []deps.Record) error {
+	newFP := db.FingerprintWith(batch...)
+	meta := s.snapMeta
+	var evicted []string
+	if meta.Segments == 0 {
+		// First durable snapshot: the base segment must carry everything the
+		// live database already holds plus the batch.
+		meta = snapMeta{Fingerprint: newFP, Gen: meta.Gen + 1, Segments: 1}
+		ev, err := writeChain(s.store, append(db.Records(), batch...), meta)
+		evicted = append(evicted, ev...)
+		if err != nil {
+			return err
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := deps.EncodeXML(&buf, batch); err != nil {
+			return err
+		}
+		ev, err := s.store.Put(segmentKey(meta.Gen, meta.Segments), store.KindSnapshot, buf.Bytes())
+		evicted = append(evicted, ev...)
+		if err != nil {
+			return err
+		}
+		meta.Fingerprint = newFP
+		meta.Segments++
+		blob, err := json.Marshal(meta)
+		if err != nil {
+			return err
+		}
+		ev, err = s.store.Put(currentSnapshotKey, store.KindMeta, blob)
+		evicted = append(evicted, ev...)
+		if err != nil {
+			return err
+		}
 	}
-	fp := snap.Fingerprint()
-	if s.snapFP == fp {
-		return nil
-	}
-	var buf bytes.Buffer
-	if err := snap.Encode(&buf); err != nil {
-		return err
-	}
-	evicted, err := s.store.Put(snapshotKeyPrefix+fp, store.KindSnapshot, buf.Bytes())
-	if err != nil {
-		return err
-	}
-	ev2, err := s.store.Put(currentSnapshotKey, store.KindMeta, []byte(fp))
-	evicted = append(evicted, ev2...)
-	if err != nil {
-		return err
-	}
-	if prev := s.snapFP; prev != "" {
-		// Superseded: the new snapshot carries every record the old one did.
-		// Best-effort — a leftover old snapshot only costs bytes.
-		s.store.Delete(snapshotKeyPrefix + prev)
-	}
-	s.snapFP = fp
+	s.snapMeta = meta
 	s.mu.Lock()
 	s.dropCachedLocked(evicted, "")
 	s.mu.Unlock()

@@ -180,6 +180,15 @@ func (n *normalizedRecommend) key() string {
 	return canonicalKey(n)
 }
 
+// requestKey derives the database-independent identity; see
+// normalized.requestKey. The resolved node pool is part of the identity, so
+// an ingest that adds a pool subject naturally starts a fresh lineage.
+func (n *normalizedRecommend) requestKey() string {
+	c := *n
+	c.DBFingerprint = ""
+	return canonicalKey(&c)
+}
+
 // PlacementRequest validates the request's options and converts them into
 // the placement engine's form, with the same defaults the service applies
 // (sampler pinned to Seed 1 / one worker for host-independent results).
@@ -199,11 +208,11 @@ func (s *Server) Recommend(req *RecommendRequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, &statusErr{code: 400, err: err}
 	}
-	db, fp, err := s.resolveDB(req.Records)
+	snap, err := s.resolveDB(req.Records)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	n.DBFingerprint = fp
+	n.DBFingerprint = snap.Fingerprint()
 
 	// Resolve the candidate pool against the snapshot: an empty pool means
 	// every subject with records, minus the fixed nodes.
@@ -215,7 +224,7 @@ func (s *Server) Recommend(req *RecommendRequest) (JobStatus, error) {
 		for _, f := range n.Fixed {
 			fixed[f] = true
 		}
-		for _, subj := range db.Subjects() {
+		for _, subj := range snap.Subjects() {
 			if !fixed[subj] {
 				n.Nodes = append(n.Nodes, subj) // Subjects() is sorted
 			}
@@ -232,14 +241,32 @@ func (s *Server) Recommend(req *RecommendRequest) (JobStatus, error) {
 		return JobStatus{}, &statusErr{code: 400, err: err}
 	}
 
+	extra := &jobExtras{}
+	if len(req.Records) == 0 {
+		reqKey := n.requestKey()
+		universe := append(append([]string(nil), n.Fixed...), n.Nodes...)
+		entry := &lineageEntry{fp: snap.Fingerprint(), snap: snap, kinds: preq.Kinds, nodes: universe}
+		extra.reg = &lineageReg{reqKey: reqKey, entry: entry}
+		if plan := s.planRecommendDelta(reqKey, n.key(), snap, &preq, preq.Kinds, universe); plan != nil {
+			extra.applyPlan(plan)
+			entry.scores = plan.scores // adopt: chain the ancestor's memo on
+		}
+	}
+	reg := extra.reg
 	run := func(ctx context.Context) (any, error) {
-		res, err := placement.Search(ctx, db, preq)
+		res, err := placement.Search(ctx, snap, preq)
 		if err != nil {
 			return nil, err
 		}
+		if reg != nil && len(res.Scores) <= lineageMaxScores {
+			// Retain the memo for future delta searches. Safe without a
+			// lock: the entry is published to the lineage only after this
+			// closure returns (finishLocked).
+			reg.entry.scores = res.Scores
+		}
 		return RecommendResponseFromResult(res), nil
 	}
-	st, err := s.enqueue(n.key(), req.Title, req.TimeoutMS, run)
+	st, err := s.enqueue(n.key(), req.Title, req.TimeoutMS, run, extra)
 	if err == nil {
 		s.m.recommendations.Add(1)
 	}

@@ -1,12 +1,14 @@
 package auditd
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 
+	"indaas/internal/depdb"
 	"indaas/internal/report"
 	"indaas/internal/store"
 )
@@ -154,8 +156,8 @@ func TestRestartServesIngestedFingerprint(t *testing.T) {
 		t.Fatalf("top-1 differs: %v vs %v", r1.Rankings[0].Nodes, r2.Rankings[0].Nodes)
 	}
 
-	// A further ingest supersedes the persisted snapshot: exactly one
-	// snapshot entry (the newest) plus the current pointer must remain.
+	// A further ingest appends exactly one chain segment — O(batch) bytes —
+	// alongside the base segment and the current pointer.
 	ing2, err := s2.Ingest(&IngestRequest{Records: []RecordWire{
 		{Kind: "hardware", HW: "s3", Type: "Disk", Dep: "S3-SED900"},
 	}})
@@ -165,8 +167,89 @@ func TestRestartServesIngestedFingerprint(t *testing.T) {
 	if ing2.Fingerprint == ing.Fingerprint {
 		t.Fatal("ingest did not change the fingerprint")
 	}
-	var snapshots, metas int
-	for _, e := range st2.Entries() {
+	if snapshots, metas := countSnapshotEntries(st2); snapshots != 2 || metas != 1 {
+		t.Fatalf("want base + 1 batch segment + 1 meta after second ingest, got %d + %d", snapshots, metas)
+	}
+	gracefulShutdown(t, s2)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A further restart replays the two-segment chain to the same
+	// fingerprint and consolidates it back to a single segment.
+	st3 := openStore(t, dir)
+	db3, err := RestoreDB(st3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Fingerprint(); got != ing2.Fingerprint {
+		t.Fatalf("chain replayed to %s, want %s", got, ing2.Fingerprint)
+	}
+	if snapshots, metas := countSnapshotEntries(st3); snapshots != 1 || metas != 1 {
+		t.Fatalf("want a consolidated single-segment chain, got %d + %d", snapshots, metas)
+	}
+}
+
+// TestRestoreLegacyStoreMigrates: stores written before the snapshot chain
+// held one whole-database snapshot under depdb/<fp> with a raw-string
+// current pointer (and an older fingerprint algorithm). RestoreDB must load
+// it, re-address it under a fresh single-segment chain, and drop the legacy
+// keys.
+func TestRestoreLegacyStoreMigrates(t *testing.T) {
+	st := openStore(t, t.TempDir())
+
+	// Fabricate the legacy layout by hand.
+	legacy := depdb.New()
+	for _, w := range testRecords() {
+		r, err := w.Record()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := legacy.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := legacy.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const oldFP = "0123456789abcdef-old-algorithm-fingerprint"
+	if _, err := st.Put("depdb/"+oldFP, store.KindSnapshot, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("depdb/current", store.KindMeta, []byte(oldFP)); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := RestoreDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db == nil || db.Len() != legacy.Len() {
+		t.Fatalf("migrated database = %v", db)
+	}
+	if db.Fingerprint() != legacy.Fingerprint() {
+		t.Fatal("migrated fingerprint must match a fresh load of the same records")
+	}
+	meta := readSnapMeta(st)
+	if meta.Segments != 1 || meta.Fingerprint != db.Fingerprint() {
+		t.Fatalf("migrated chain meta = %+v", meta)
+	}
+	if _, _, ok, _ := st.Get("depdb/" + oldFP); ok {
+		t.Fatal("legacy snapshot entry survived migration")
+	}
+	// The migrated chain restores like a native one.
+	db2, err := RestoreDB(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Fingerprint() != db.Fingerprint() {
+		t.Fatal("second restore diverged")
+	}
+}
+
+func countSnapshotEntries(st *store.Store) (snapshots, metas int) {
+	for _, e := range st.Entries() {
 		switch e.Kind {
 		case store.KindSnapshot:
 			snapshots++
@@ -174,9 +257,7 @@ func TestRestartServesIngestedFingerprint(t *testing.T) {
 			metas++
 		}
 	}
-	if snapshots != 1 || metas != 1 {
-		t.Fatalf("want 1 snapshot + 1 meta entry after supersede, got %d + %d", snapshots, metas)
-	}
+	return snapshots, metas
 }
 
 // TestStoreEvictionMirroredIntoMemory pins the two-tier invariant: when the

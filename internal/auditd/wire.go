@@ -230,6 +230,16 @@ func (n *normalized) key() string {
 	return canonicalKey(n)
 }
 
+// requestKey derives the database-independent identity of the request: the
+// content address with the DepDB fingerprint blanked. Results computed for
+// the same requestKey against different database generations form one
+// lineage, which is what delta audits walk to find a reusable ancestor.
+func (n *normalized) requestKey() string {
+	c := *n
+	c.DBFingerprint = ""
+	return canonicalKey(&c)
+}
+
 // canonicalKey hashes a normalized request form (audit or recommendation)
 // into its content address.
 func canonicalKey(v any) string {
@@ -257,11 +267,20 @@ type JobStatus struct {
 	DiskHit bool `json:"disk_hit,omitempty"`
 	// Coalesced is true when the job attached to an identical in-flight
 	// computation instead of enqueueing its own.
-	Coalesced   bool       `json:"coalesced,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// DeltaHit is true when the job was answered through the delta-audit
+	// lineage: the database changed since an identical request was computed,
+	// but the change did not reach the job's subjects (instant answer,
+	// DirtySubjects empty) or reached only some of them (only those were
+	// re-audited; DirtySubjects lists them).
+	DeltaHit bool `json:"delta_hit,omitempty"`
+	// DirtySubjects are the job's subjects whose dependency records changed
+	// since the ancestor result this job reused was computed.
+	DirtySubjects []string   `json:"dirty_subjects,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
 }
 
 // errorBody is the JSON error envelope.

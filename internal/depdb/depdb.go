@@ -8,18 +8,29 @@
 //
 // Long-running readers — concurrent audit jobs in particular — should not
 // hold the database's lock for the duration of a graph build. Snapshot
-// returns a registered immutable view: the first call after a write
-// materializes the view once, every further call returns the same one, and
-// the next Put simply invalidates the registration. A snapshot also carries
-// a content Fingerprint, the canonical hash the audit service uses to
-// content-address cached results.
+// returns a registered immutable view over the append-only record log: the
+// view is a (generation, fingerprint) pair, so taking one costs O(1) no
+// matter how large the database has grown, and any number of snapshots of
+// different generations share the same storage. Snapshot queries briefly
+// read-lock the database per call (never across a graph build) and see only
+// the frozen prefix of the log.
+//
+// A snapshot carries a content Fingerprint, the canonical hash the audit
+// service uses to content-address cached results. The fingerprint is
+// maintained incrementally as records are inserted — a homomorphic multiset
+// hash over canonical record serializations — so appending a batch costs
+// O(batch), not O(database). Two snapshots can also be compared record-wise
+// with Diff, the primitive delta audits are built on.
 package depdb
 
 import (
 	"crypto/sha256"
+	"crypto/sha512"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -28,7 +39,7 @@ import (
 )
 
 // Reader is the read side of a dependency database: what graph builders
-// need. Both *DB (locked) and *Snapshot (immutable) implement it.
+// need. Both *DB (live) and *Snapshot (frozen) implement it.
 type Reader interface {
 	// Query returns the records for subject of the given kind, in
 	// insertion order.
@@ -48,41 +59,107 @@ type Reader interface {
 	Len() int
 }
 
-// view is the shared read-only query core: a record log plus a
-// per-subject, per-kind position index.
+// view is the shared read-only query core: an append-only record log plus a
+// per-subject, per-kind position index. Positions within a bucket are
+// strictly increasing, which lets a snapshot see the prefix of any bucket by
+// cutting at its generation's record count.
 type view struct {
 	records []deps.Record
-	// index[subject][kind] -> positions into records
+	// index[subject][kind] -> ascending positions into records
 	index map[string]map[deps.Kind][]int
 }
 
-func (v *view) query(subject string, kind deps.Kind) []deps.Record {
+// query returns the records for subject of the given kind among the first
+// limit log entries.
+func (v *view) query(subject string, kind deps.Kind, limit int) []deps.Record {
 	byKind, ok := v.index[subject]
 	if !ok {
 		return nil
 	}
 	positions := byKind[kind]
-	out := make([]deps.Record, 0, len(positions))
-	for _, p := range positions {
+	cut := sort.SearchInts(positions, limit)
+	if cut == 0 {
+		return nil
+	}
+	out := make([]deps.Record, 0, cut)
+	for _, p := range positions[:cut] {
 		out = append(out, v.records[p])
 	}
 	return out
 }
 
-func (v *view) subjects() []string {
+// subjects returns the subjects with at least one record among the first
+// limit log entries, sorted.
+func (v *view) subjects(limit int) []string {
 	out := make([]string, 0, len(v.index))
-	for s := range v.index {
-		out = append(out, s)
+	for s, byKind := range v.index {
+		for _, positions := range byKind {
+			if len(positions) > 0 && positions[0] < limit {
+				out = append(out, s)
+				break
+			}
+		}
 	}
 	sort.Strings(out)
 	return out
 }
+
+// fpSum is the incrementally-maintained fingerprint state: a 2048-bit
+// homomorphic multiset hash (the wrapping sum of per-record digests,
+// AdHash-style) plus the record count. Insertion order cannot matter
+// because addition commutes; appending one record costs four SHA-512s over
+// its canonical line, O(1) regardless of database size. The state is 2048
+// bits — not one hash block — because additive multiset hashes at small
+// moduli fall to Wagner's generalized-birthday attack (AdHash wants a
+// modulus well past 1600 bits for a comfortable margin); an ingest client
+// must not be able to craft a batch whose digest sum collides and thereby
+// alias a changed database to stale content-addressed results.
+type fpSum struct {
+	count uint64
+	limbs [fpLimbs]uint64 // little-endian 2048-bit accumulator
+}
+
+const fpLimbs = 32
+
+// add folds one canonical record line into the sum. The record's 2048-bit
+// digest is four domain-separated SHA-512s over the line.
+func (s *fpSum) add(line string) {
+	buf := make([]byte, 1+len(line))
+	copy(buf[1:], line)
+	var carry uint64
+	limb := 0
+	for block := byte(0); block < 4; block++ {
+		buf[0] = block
+		h := sha512.Sum512(buf)
+		for i := 0; i < 8; i++ {
+			s.limbs[limb], carry = bits.Add64(s.limbs[limb], binary.LittleEndian.Uint64(h[i*8:]), carry)
+			limb++
+		}
+	}
+	s.count++
+}
+
+// fingerprint renders the canonical content hash of the accumulated multiset.
+func (s fpSum) fingerprint() string {
+	var buf [len(fpDomain) + 8 + fpLimbs*8]byte
+	copy(buf[:], fpDomain)
+	binary.BigEndian.PutUint64(buf[len(fpDomain):], s.count)
+	for i := 0; i < fpLimbs; i++ {
+		binary.BigEndian.PutUint64(buf[len(fpDomain)+8+i*8:], s.limbs[i])
+	}
+	h := sha256.Sum256(buf[:])
+	return hex.EncodeToString(h[:])
+}
+
+// fpDomain separates the fingerprint hash domain from raw record hashes.
+const fpDomain = "indaas/depdb/fingerprint/v2\n"
 
 // DB is an in-memory dependency database with per-subject, per-kind indexes.
 // The zero value is not usable; call New.
 type DB struct {
 	mu   sync.RWMutex
 	v    view
+	sum  fpSum
 	snap *Snapshot // registered snapshot; nil after a write
 }
 
@@ -93,7 +170,7 @@ func New() *DB {
 
 // Put validates and stores records. Either all records are stored or none.
 // Any registered snapshot is invalidated; snapshots taken earlier keep
-// serving their frozen view.
+// serving their frozen prefix of the log.
 func (db *DB) Put(records ...deps.Record) error {
 	for i, r := range records {
 		if err := r.Validate(); err != nil {
@@ -113,6 +190,7 @@ func (db *DB) Put(records ...deps.Record) error {
 			db.v.index[subj] = byKind
 		}
 		byKind[r.Kind] = append(byKind[r.Kind], pos)
+		db.sum.add(canonicalLine(r))
 	}
 	return nil
 }
@@ -120,8 +198,9 @@ func (db *DB) Put(records ...deps.Record) error {
 // Snapshot returns the registered immutable view of the database's current
 // contents. The snapshot is built at most once per write generation: calls
 // between two Puts return the identical *Snapshot, so concurrent audit jobs
-// share one frozen view (and one Fingerprint) instead of copying the store
-// per job. The snapshot stays valid — and unchanged — after later Puts.
+// share one frozen view (and one Fingerprint). Creating it is O(1) — the
+// snapshot is a generation mark over the append-only log, not a copy — and
+// it stays valid, and unchanged, after later Puts.
 func (db *DB) Snapshot() *Snapshot {
 	db.mu.RLock()
 	s := db.snap
@@ -132,20 +211,7 @@ func (db *DB) Snapshot() *Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.snap == nil {
-		// Freeze the record log by capping its capacity (later appends
-		// reallocate or write beyond the cap, never into the frozen
-		// prefix) and deep-copy the position index, whose slices *are*
-		// appended to in place.
-		recs := db.v.records[:len(db.v.records):len(db.v.records)]
-		idx := make(map[string]map[deps.Kind][]int, len(db.v.index))
-		for subj, byKind := range db.v.index {
-			m := make(map[deps.Kind][]int, len(byKind))
-			for k, pos := range byKind {
-				m[k] = append([]int(nil), pos...)
-			}
-			idx[subj] = m
-		}
-		db.snap = &Snapshot{v: view{records: recs, index: idx}, fp: fingerprint(recs)}
+		db.snap = &Snapshot{db: db, limit: len(db.v.records), fp: db.sum.fingerprint()}
 	}
 	return db.snap
 }
@@ -154,6 +220,22 @@ func (db *DB) Snapshot() *Snapshot {
 // shorthand for db.Snapshot().Fingerprint().
 func (db *DB) Fingerprint() string {
 	return db.Snapshot().Fingerprint()
+}
+
+// FingerprintWith returns the fingerprint the database would have after
+// appending records, without modifying anything — the audit service uses it
+// to persist an ingest's outcome before committing the ingest. Cost is
+// O(len(records)) regardless of database size. The records are assumed
+// valid; invalid ones would make the eventual Put fail and the preview
+// meaningless.
+func (db *DB) FingerprintWith(records ...deps.Record) string {
+	db.mu.RLock()
+	sum := db.sum
+	db.mu.RUnlock()
+	for _, r := range records {
+		sum.add(canonicalLine(r))
+	}
+	return sum.fingerprint()
 }
 
 // Len returns the number of stored records.
@@ -167,7 +249,7 @@ func (db *DB) Len() int {
 func (db *DB) Subjects() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.v.subjects()
+	return db.v.subjects(len(db.v.records))
 }
 
 // Query returns the records for subject of the given kind, in insertion
@@ -175,7 +257,7 @@ func (db *DB) Subjects() []string {
 func (db *DB) Query(subject string, kind deps.Kind) []deps.Record {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.v.query(subject, kind)
+	return db.v.query(subject, kind, len(db.v.records))
 }
 
 // QueryAll returns every record about subject, grouped network, hardware,
@@ -225,31 +307,40 @@ func (db *DB) ReadXML(r io.Reader) error {
 	return db.Put(records...)
 }
 
-// Snapshot is an immutable point-in-time view of a DB. It needs no locks,
-// so any number of audit jobs can query it while writers keep inserting
-// into the live database.
+// Snapshot is an immutable point-in-time view of a DB: the prefix of the
+// database's append-only record log that existed when the snapshot was
+// taken. Queries read-lock the owning database briefly per call — never for
+// the duration of a graph build — so audit jobs and writers make progress
+// together while the snapshot's contents stay frozen.
 type Snapshot struct {
-	v  view
-	fp string
+	db    *DB
+	limit int // the snapshot sees records[:limit]
+	fp    string
 }
 
-// Fingerprint returns the snapshot's canonical content hash: the SHA-256
-// over the sorted canonical serializations of its records, hex-encoded.
-// Two databases loaded with the same records in any insertion order have
-// equal fingerprints, which is what makes the hash usable as a
+// Fingerprint returns the snapshot's canonical content hash: a SHA-256
+// commitment to the multiset of its records' canonical serializations,
+// hex-encoded. Two databases loaded with the same records in any insertion
+// order have equal fingerprints, which is what makes the hash usable as a
 // content-address for cached audit results.
 func (s *Snapshot) Fingerprint() string { return s.fp }
 
 // Len returns the number of records in the snapshot.
-func (s *Snapshot) Len() int { return len(s.v.records) }
+func (s *Snapshot) Len() int { return s.limit }
 
 // Subjects returns every subject with at least one record, sorted.
-func (s *Snapshot) Subjects() []string { return s.v.subjects() }
+func (s *Snapshot) Subjects() []string {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.v.subjects(s.limit)
+}
 
 // Query returns the records for subject of the given kind, in insertion
 // order.
 func (s *Snapshot) Query(subject string, kind deps.Kind) []deps.Record {
-	return s.v.query(subject, kind)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.v.query(subject, kind, s.limit)
 }
 
 // QueryAll returns every record about subject, grouped network, hardware,
@@ -264,14 +355,16 @@ func (s *Snapshot) QueryAll(subject string) []deps.Record {
 
 // Records returns a copy of every record in insertion order.
 func (s *Snapshot) Records() []deps.Record {
-	return append([]deps.Record(nil), s.v.records...)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return append([]deps.Record(nil), s.db.v.records[:s.limit]...)
 }
 
 // Encode writes the snapshot's records in the canonical Table 1 XML format,
 // the durable form the audit service's disk store persists. DecodeSnapshot
 // reverses it; the round-trip preserves the Fingerprint.
 func (s *Snapshot) Encode(w io.Writer) error {
-	return deps.EncodeXML(w, s.v.records)
+	return deps.EncodeXML(w, s.Records())
 }
 
 // DecodeDB reconstructs a mutable database from Encode's output — the form
@@ -339,24 +432,9 @@ func unwrapSoftware(recs []deps.Record) []deps.Software {
 	return out
 }
 
-// fingerprint hashes records order-independently: each record serializes to
-// a canonical line (field separator 0x1f, list separator 0x1e — neither
-// occurs in component names), the lines are sorted, and the sorted block is
-// SHA-256'd.
-func fingerprint(records []deps.Record) string {
-	lines := make([]string, 0, len(records))
-	for _, r := range records {
-		lines = append(lines, canonicalLine(r))
-	}
-	sort.Strings(lines)
-	h := sha256.New()
-	for _, l := range lines {
-		io.WriteString(h, l)
-		h.Write([]byte{'\n'})
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
-
+// canonicalLine serializes one record canonically (field separator 0x1f,
+// list separator 0x1e — neither occurs in component names); the fingerprint
+// and Diff both key on it.
 func canonicalLine(r deps.Record) string {
 	const fs, ls = "\x1f", "\x1e"
 	switch r.Kind {

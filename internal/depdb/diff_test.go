@@ -1,0 +1,114 @@
+package depdb
+
+import (
+	"reflect"
+	"testing"
+
+	"indaas/internal/deps"
+)
+
+func mustPut(t *testing.T, db *DB, records ...deps.Record) {
+	t.Helper()
+	if err := db.Put(records...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffSameDBAppendOnly pins the fast path: two generations of one
+// database diff to exactly the records ingested between them.
+func TestDiffSameDBAppendOnly(t *testing.T) {
+	db := New()
+	mustPut(t, db, sampleRecords()...)
+	a := db.Snapshot()
+	extra := []deps.Record{
+		deps.NewHardware("S9", "NIC", "S9-X520"),
+		deps.NewNetwork("S9", "Internet", "ToR9"),
+	}
+	mustPut(t, db, extra...)
+	b := db.Snapshot()
+
+	d := a.Diff(b)
+	if len(d.Added) != 2 || len(d.Removed) != 0 || len(d.Changed) != 0 {
+		t.Fatalf("diff = %+v, want 2 additions", d)
+	}
+	if got := d.Subjects(); !reflect.DeepEqual(got, []string{"S9"}) {
+		t.Fatalf("Subjects = %v, want [S9]", got)
+	}
+	// The reverse direction reports removals.
+	rd := b.Diff(a)
+	if len(rd.Removed) != 2 || len(rd.Added) != 0 {
+		t.Fatalf("reverse diff = %+v, want 2 removals", rd)
+	}
+	if d.Empty() || !a.Diff(a).Empty() {
+		t.Fatal("emptiness misreported")
+	}
+}
+
+// TestDiffCrossDB compares unrelated databases: multiset semantics, order
+// independence, and identity pairing into Changed.
+func TestDiffCrossDB(t *testing.T) {
+	a, b := New(), New()
+	shared := []deps.Record{
+		deps.NewNetwork("s1", "Internet", "tor1", "core1"),
+		deps.NewSoftware("nginx", "s1", "libc6"),
+	}
+	mustPut(t, a, shared...)
+	mustPut(t, a, deps.NewHardware("s1", "Disk", "old-model"))
+	// b holds the shared records in reverse order, the disk replaced, and
+	// one brand-new record.
+	mustPut(t, b, shared[1], shared[0])
+	mustPut(t, b, deps.NewHardware("s1", "Disk", "new-model"))
+	mustPut(t, b, deps.NewHardware("s2", "Disk", "s2-model"))
+
+	d := a.Snapshot().Diff(b.Snapshot())
+	if len(d.Added) != 1 || d.Added[0].Hardware.HW != "s2" {
+		t.Fatalf("Added = %+v", d.Added)
+	}
+	if len(d.Removed) != 0 {
+		t.Fatalf("Removed = %+v", d.Removed)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Old.Hardware.Dep != "old-model" || d.Changed[0].New.Hardware.Dep != "new-model" {
+		t.Fatalf("Changed = %+v", d.Changed)
+	}
+	if got := d.Subjects(); !reflect.DeepEqual(got, []string{"s1", "s2"}) {
+		t.Fatalf("Subjects = %v", got)
+	}
+	// Equal multisets in different insertion orders diff empty.
+	c := New()
+	mustPut(t, c, shared[1], shared[0], deps.NewHardware("s1", "Disk", "old-model"))
+	if d := a.Snapshot().Diff(c.Snapshot()); !d.Empty() {
+		t.Fatalf("equal-content diff = %+v", d)
+	}
+}
+
+// TestDiffDuplicateRecords: depdb stores duplicates; the diff counts
+// multiplicities rather than treating records as a set.
+func TestDiffDuplicateRecords(t *testing.T) {
+	rec := deps.NewSoftware("redis", "s1", "libjemalloc2")
+	a, b := New(), New()
+	mustPut(t, a, rec)
+	mustPut(t, b, rec, rec, rec)
+	d := a.Snapshot().Diff(b.Snapshot())
+	if len(d.Added) != 2 || len(d.Removed) != 0 || len(d.Changed) != 0 {
+		t.Fatalf("diff = %+v, want 2 duplicate additions", d)
+	}
+}
+
+// TestFingerprintWithMatchesPut: the O(batch) preview must agree with the
+// fingerprint an actual Put produces.
+func TestFingerprintWithMatchesPut(t *testing.T) {
+	db := New()
+	mustPut(t, db, sampleRecords()...)
+	extra := []deps.Record{
+		deps.NewHardware("S7", "NIC", "S7-X520"),
+		deps.NewSoftware("etcd", "S7", "libc6"),
+	}
+	preview := db.FingerprintWith(extra...)
+	if preview == db.Fingerprint() {
+		t.Fatal("preview with additions must differ from the current fingerprint")
+	}
+	mustPut(t, db, extra...)
+	if got := db.Fingerprint(); got != preview {
+		t.Fatalf("FingerprintWith = %s, Put produced %s", preview, got)
+	}
+}

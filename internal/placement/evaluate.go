@@ -24,13 +24,30 @@ type evaluator struct {
 }
 
 func newEvaluator(db depdb.Reader, req *Request) *evaluator {
-	return &evaluator{db: db, req: req, cache: make(map[string]Score)}
+	cache := make(map[string]Score, len(req.SeedScores))
+	// Seeded scores behave exactly like memoized ones: consulted before any
+	// audit runs, excluded from the evaluated count.
+	for k, s := range req.SeedScores {
+		cache[k] = s
+	}
+	return &evaluator{db: db, req: req, cache: cache}
 }
 
 func (e *evaluator) evaluatedCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.evaluated
+}
+
+// scoresCopy snapshots the memo (seeds included) for Result.Scores.
+func (e *evaluator) scoresCopy() map[string]Score {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]Score, len(e.cache))
+	for k, s := range e.cache {
+		out[k] = s
+	}
+	return out
 }
 
 // scoreBatch returns one score per deployment (each a sorted node list),

@@ -128,6 +128,14 @@ type Request struct {
 	Prob func(component string) float64
 	// Audit tunes each candidate's SIA run (algorithm, rounds, bounds).
 	Audit sia.Options
+	// SeedScores primes the evaluator's memo with already-known deployment
+	// scores, keyed by DeploymentKey. Delta recommendations pass the scores
+	// of a previous identical search here, restricted to deployments whose
+	// servers' records are unchanged — the search then re-audits only the
+	// candidates that actually moved. Seeding never changes the result,
+	// only which candidates are recomputed; Result.Evaluated counts actual
+	// audits, so seeded candidates don't inflate it.
+	SeedScores map[string]Score
 }
 
 // Validate applies defaults in place and rejects impossible searches.
@@ -234,6 +242,10 @@ type Result struct {
 	// Top is the ranking, most independent first, at most TopK entries.
 	Top     []Ranked
 	Elapsed time.Duration
+	// Scores is the evaluator's full memo after the search — every
+	// deployment scored (or seeded), keyed by DeploymentKey. A later delta
+	// search over a changed database seeds from it via Request.SeedScores.
+	Scores map[string]Score
 }
 
 // Search runs the requested strategy and returns the ranked recommendation.
@@ -278,6 +290,7 @@ func Search(ctx context.Context, db depdb.Reader, req Request) (*Result, error) 
 		Evaluated:       e.evaluatedCount(),
 		Top:             top,
 		Elapsed:         time.Since(start),
+		Scores:          e.scoresCopy(),
 	}, nil
 }
 
@@ -348,4 +361,16 @@ func sortedCopy(nodes []string) []string {
 // deploymentKey is the canonical identity of a node set.
 func deploymentKey(sorted []string) string {
 	return strings.Join(sorted, "\x1f")
+}
+
+// DeploymentKey returns the canonical identity of a deployment's node set —
+// the key space of Request.SeedScores and Result.Scores. Node order does not
+// matter.
+func DeploymentKey(nodes []string) string {
+	return deploymentKey(sortedCopy(nodes))
+}
+
+// KeyNodes inverts DeploymentKey.
+func KeyNodes(key string) []string {
+	return strings.Split(key, "\x1f")
 }

@@ -1,0 +1,76 @@
+package placement
+
+import (
+	"context"
+	"testing"
+
+	"indaas/internal/deps"
+)
+
+// TestSeedScoresSkipRecomputation: a search seeded with the full memo of an
+// identical previous search re-audits nothing and ranks identically — the
+// contract the audit service's delta recommendations rely on.
+func TestSeedScoresSkipRecomputation(t *testing.T) {
+	db, nodes := labDB(t, 8, 2, 3)
+	req := Request{Nodes: nodes, Replicas: 2, TopK: 3, Strategy: Exact}
+	ctx := context.Background()
+
+	first, err := Search(ctx, db, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Evaluated == 0 || len(first.Scores) != first.Evaluated {
+		t.Fatalf("first search: evaluated=%d scores=%d", first.Evaluated, len(first.Scores))
+	}
+
+	seeded := req
+	seeded.SeedScores = first.Scores
+	second, err := Search(ctx, db, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Evaluated != 0 {
+		t.Fatalf("fully seeded search ran %d audits, want 0", second.Evaluated)
+	}
+	if !rankedEqual(first.Top, second.Top) {
+		t.Fatalf("seeded ranking differs:\n%+v\n%+v", first.Top, second.Top)
+	}
+
+	// Partial seeding after a record change: drop every deployment touching
+	// s01 from the seed, grow s01's dependencies, and re-search. Only the
+	// s01 candidates may be re-audited; the rest come from the seed.
+	if err := db.Put(deps.NewSoftware("etcd", "s01", "libc6")); err != nil {
+		t.Fatal(err)
+	}
+	partial := req
+	partial.SeedScores = make(map[string]Score)
+	dirtyCandidates := 0
+	for k, s := range first.Scores {
+		touched := false
+		for _, n := range KeyNodes(k) {
+			if n == "s01" {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			dirtyCandidates++
+			continue
+		}
+		partial.SeedScores[k] = s
+	}
+	third, err := Search(ctx, db, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Evaluated != dirtyCandidates {
+		t.Fatalf("partial delta re-audited %d candidates, want %d", third.Evaluated, dirtyCandidates)
+	}
+	full, err := Search(ctx, db, req) // unseeded ground truth on the new DB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rankedEqual(third.Top, full.Top) {
+		t.Fatalf("partial-seeded ranking diverges from full recompute:\n%+v\n%+v", third.Top, full.Top)
+	}
+}

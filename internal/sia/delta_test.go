@@ -1,0 +1,77 @@
+package sia
+
+import (
+	"reflect"
+	"testing"
+
+	"indaas/internal/depdb"
+	"indaas/internal/deps"
+)
+
+// TestDirtyDeployments pins the record→cone mapping: a diffed record dirties
+// exactly the deployments that include its subject and want its kind.
+func TestDirtyDeployments(t *testing.T) {
+	db := depdb.New()
+	put := func(records ...deps.Record) {
+		t.Helper()
+		if err := db.Put(records...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []string{"s1", "s2", "s3"} {
+		put(
+			deps.NewNetwork(s, "Internet", "tor-"+s),
+			deps.NewHardware(s, "Disk", s+"-disk"),
+		)
+	}
+	before := db.Snapshot()
+	put(deps.NewHardware("s2", "NIC", "s2-nic")) // hardware change on s2 only
+	after := db.Snapshot()
+	d := before.Diff(after)
+
+	specs := []GraphSpec{
+		{Deployment: "a", Servers: []string{"s1", "s3"}},                                        // untouched
+		{Deployment: "b", Servers: []string{"s1", "s2"}},                                        // contains s2
+		{Deployment: "c", Servers: []string{"s2"}, Kinds: []deps.Kind{deps.KindNetwork}},        // s2, but network-only
+		{Deployment: "d", Servers: []string{"s2", "s3"}, Kinds: []deps.Kind{deps.KindHardware}}, // s2, hardware wanted
+	}
+	dirty, subjects := DirtyDeployments(specs, d)
+	want := []bool{false, true, false, true}
+	if !reflect.DeepEqual(dirty, want) {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+	if !reflect.DeepEqual(subjects, []string{"s2"}) {
+		t.Fatalf("subjects = %v, want [s2]", subjects)
+	}
+
+	// An empty diff dirties nothing.
+	if dirty, subjects := DirtyDeployments(specs, after.Diff(after)); dirty[1] || len(subjects) != 0 {
+		t.Fatalf("empty diff dirtied something: %v %v", dirty, subjects)
+	}
+}
+
+// TestDirtySubjects covers the kind-filtered subject set used by the
+// placement delta path.
+func TestDirtySubjects(t *testing.T) {
+	a, b := depdb.New(), depdb.New()
+	base := []deps.Record{
+		deps.NewNetwork("n1", "Internet", "tor1"),
+		deps.NewHardware("n2", "Disk", "old"),
+	}
+	if err := a.Put(base...); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(base[0], deps.NewHardware("n2", "Disk", "new"), deps.NewSoftware("etcd", "n3", "libc6")); err != nil {
+		t.Fatal(err)
+	}
+	d := a.Snapshot().Diff(b.Snapshot())
+	if got := DirtySubjects(d, nil); !reflect.DeepEqual(got, []string{"n2", "n3"}) {
+		t.Fatalf("all kinds: %v", got)
+	}
+	if got := DirtySubjects(d, []deps.Kind{deps.KindSoftware}); !reflect.DeepEqual(got, []string{"n3"}) {
+		t.Fatalf("software only: %v", got)
+	}
+	if got := DirtySubjects(d, []deps.Kind{deps.KindNetwork}); len(got) != 0 {
+		t.Fatalf("network only: %v", got)
+	}
+}

@@ -16,7 +16,7 @@ import (
 func TestRecoveryAtEveryTruncationOffset(t *testing.T) {
 	dir := t.TempDir()
 	clock := newFakeClock()
-	s, err := Open(Options{Dir: dir, MaxBytes: -1, NoSync: true, now: clock.now})
+	s, err := Open(Options{Dir: dir, MaxBytes: -1, NoSync: true, Now: clock.now})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRecoveryAtEveryTruncationOffset(t *testing.T) {
 		if err := os.WriteFile(tpath, blob[:off], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		rs, err := Open(Options{Dir: tdir, MaxBytes: -1, NoSync: true, now: clock.now})
+		rs, err := Open(Options{Dir: tdir, MaxBytes: -1, NoSync: true, Now: clock.now})
 		if err != nil {
 			t.Fatalf("offset %d: open: %v", off, err)
 		}

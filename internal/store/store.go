@@ -102,7 +102,10 @@ type Options struct {
 	// (never corrupt older ones).
 	NoSync bool
 
-	now func() time.Time // test hook; nil means time.Now
+	// Now overrides the clock used to stamp and age records; nil means
+	// time.Now. Tests (and the daemon GC-ticker tests in auditd) inject a
+	// fake clock here to exercise MaxAge eviction without real waiting.
+	Now func() time.Time
 }
 
 // RecoveryStats reports what Open found while replaying the segment.
@@ -181,8 +184,8 @@ func Open(opts Options) (*Store, error) {
 	if opts.MaxBytes == 0 {
 		opts.MaxBytes = DefaultMaxBytes
 	}
-	if opts.now == nil {
-		opts.now = time.Now
+	if opts.Now == nil {
+		opts.Now = time.Now
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -431,7 +434,7 @@ func (s *Store) Put(key string, kind Kind, val []byte) ([]string, error) {
 
 // appendLocked writes one live record and updates the index.
 func (s *Store) appendLocked(kind Kind, key string, val []byte) error {
-	unix := s.opts.now().UnixNano()
+	unix := s.opts.Now().UnixNano()
 	rec := encodeRecord(kind, unix, key, val)
 	if _, err := s.f.WriteAt(rec, s.size); err != nil {
 		return fmt.Errorf("store: append: %w", err)
@@ -444,7 +447,7 @@ func (s *Store) appendLocked(kind Kind, key string, val []byte) error {
 
 // appendTombstoneLocked records a deletion for key (which must be live).
 func (s *Store) appendTombstoneLocked(key string) error {
-	rec := encodeRecord(kindTombstone, s.opts.now().UnixNano(), key, nil)
+	rec := encodeRecord(kindTombstone, s.opts.Now().UnixNano(), key, nil)
 	if _, err := s.f.WriteAt(rec, s.size); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
@@ -460,7 +463,7 @@ func (s *Store) enforceBudgetLocked() ([]string, error) {
 	var evicted []string
 	cutoff := int64(0)
 	if s.opts.MaxAge > 0 {
-		cutoff = s.opts.now().Add(-s.opts.MaxAge).UnixNano()
+		cutoff = s.opts.Now().Add(-s.opts.MaxAge).UnixNano()
 	}
 	// order is first-append-ordered; overwrites can make write times locally
 	// non-monotonic, so the walk covers every live result rather than

@@ -28,8 +28,8 @@ func openTest(t *testing.T, opts Options) *Store {
 	if opts.Dir == "" {
 		opts.Dir = t.TempDir()
 	}
-	if opts.now == nil {
-		opts.now = newFakeClock().now
+	if opts.Now == nil {
+		opts.Now = newFakeClock().now
 	}
 	s, err := Open(opts)
 	if err != nil {
@@ -127,7 +127,7 @@ func TestSizeEvictionOldestResultsFirst(t *testing.T) {
 	clock := newFakeClock()
 	val := strings.Repeat("v", 100)
 	// Each record is headerSize + len(key) + 100 ≈ 122 bytes; budget three.
-	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: 380, now: clock.now})
+	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: 380, Now: clock.now})
 	mustPut(t, s, "snap", KindSnapshot, strings.Repeat("s", 4000)) // never evicted
 	var evicted []string
 	for i := 0; i < 6; i++ {
@@ -146,7 +146,7 @@ func TestSizeEvictionOldestResultsFirst(t *testing.T) {
 
 func TestAgeEviction(t *testing.T) {
 	clock := newFakeClock()
-	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: -1, MaxAge: time.Hour, now: clock.now})
+	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: -1, MaxAge: time.Hour, Now: clock.now})
 	mustPut(t, s, "old", KindResult, "1")
 	mustPut(t, s, "snap", KindSnapshot, "s")
 	clock.advance(2 * time.Hour)
@@ -391,7 +391,7 @@ func TestOrderListCompaction(t *testing.T) {
 	clock := newFakeClock()
 	// Budget of one small record: every new put evicts all older results,
 	// churning the append-order list through many dead keys.
-	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: 130, now: clock.now})
+	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: 130, Now: clock.now})
 	for i := 0; i < 500; i++ {
 		mustPut(t, s, fmt.Sprintf("key-%03d", i), KindResult, "payload")
 	}
@@ -411,7 +411,7 @@ func TestGCAfterBudgetAlreadyEnforced(t *testing.T) {
 	big := strings.Repeat("x", 1_200_000)
 	// Budget holds two big records; each further put evicts the oldest, and
 	// by the fourth put the dead fraction crosses the compaction threshold.
-	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: 2_500_000, now: clock.now})
+	s := openTest(t, Options{Dir: t.TempDir(), MaxBytes: 2_500_000, Now: clock.now})
 	for _, key := range []string{"a", "b", "c", "d"} {
 		mustPut(t, s, key, KindResult, big)
 	}

@@ -126,7 +126,32 @@ if [ "$MODE" = base ]; then
     TOP_INLINE=$(jq -c '.rankings[0].nodes' "$TMP/recommend.json")
     [ "$TOP_INGESTED" = "$TOP_INLINE" ] || die "ingested top-1 $TOP_INGESTED != inline top-1 $TOP_INLINE"
 
-    echo "smoke OK: report + recommendation match goldens, cache hit and ingest confirmed"
+    # Delta audits: audit the server database, ingest one record no audited
+    # deployment depends on (which still changes the DB fingerprint, i.e.
+    # the content address), and re-submit. The re-audit must be answered
+    # instantly from the lineage — delta_hit, no new computation — with a
+    # byte-identical report.
+    DELTA_BODY='{"deployments":[{"name":"n1+n3","servers":["n1","n3"]}]}'
+    DID=$(submit v1/audits "$DELTA_BODY")
+    wait_done "$DID" delta-cold-audit
+    "${CURL[@]}" "$BASE/v1/audits/$DID/report" > "$TMP/delta-before.json"
+    COMPUTATIONS_BEFORE=$(metric auditd_computations_total)
+
+    "${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data '{"records":[{"kind":"hardware","hw":"spare-1","type":"NIC","dep":"spare-1-x520"}]}' \
+        "$BASE/v1/depdb" >/dev/null || die "delta ingest failed"
+
+    DHIT=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' --data "$DELTA_BODY" "$BASE/v1/audits")
+    [ "$(jq -r '.delta_hit == true and .state == "done"' <<<"$DHIT")" = true ] ||
+        die "re-audit after unrelated ingest was not a delta hit: $DHIT"
+    DHID=$(jq -r .id <<<"$DHIT")
+    "${CURL[@]}" "$BASE/v1/audits/$DHID/report" > "$TMP/delta-after.json"
+    diff "$TMP/delta-before.json" "$TMP/delta-after.json" || die "delta-served report drifted"
+    [ "$(metric auditd_delta_hits_total)" -ge 1 ] || die "auditd_delta_hits_total did not increment"
+    [ "$(metric auditd_computations_total)" = "$COMPUTATIONS_BEFORE" ] ||
+        die "delta re-audit ran a full recomputation"
+
+    echo "smoke OK: report + recommendation match goldens; cache, ingest and delta-audit legs confirmed"
     exit 0
 fi
 
