@@ -13,6 +13,7 @@ import (
 
 	"indaas/internal/auditd"
 	"indaas/internal/depdb"
+	"indaas/internal/faultinject"
 	"indaas/internal/store"
 )
 
@@ -34,8 +35,18 @@ func cmdServe(args []string) error {
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "persisted result budget in bytes (0 = default 256 MiB, negative = unlimited)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "evict persisted results older than this (0 = keep forever)")
 	storeGCInterval := fs.Duration("store-gc-interval", 5*time.Minute, "background store GC period enforcing -store-max-age/-store-max-bytes on an idle daemon (0 disables)")
+	storeFailThreshold := fs.Int("store-failure-threshold", 0, "consecutive store write failures before degrading to memory-only serving (0 = default 3)")
+	storeRetryInterval := fs.Duration("store-retry-interval", 0, "how often a degraded daemon probes the store to restore durable mode (0 = default 15s)")
+	chaosSpec := fs.String("chaos", "", "fault injection spec for resilience testing, e.g. 'delay=3s,enospc=2:2' (see internal/faultinject)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	chaos, err := faultinject.ParseSpec(*chaosSpec)
+	if err != nil {
+		return err
+	}
+	if *chaosSpec != "" {
+		fmt.Printf("indaas: CHAOS MODE: injecting faults (%s)\n", *chaosSpec)
 	}
 	var db *depdb.DB
 	if *depsPath != "" {
@@ -46,8 +57,14 @@ func cmdServe(args []string) error {
 	}
 	var st *store.Store
 	if *dataDir != "" {
+		opts := store.Options{Dir: *dataDir, MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge}
+		if chaos.FS != nil {
+			opts.OpenFile = func(name string, flag int, perm os.FileMode) (store.File, error) {
+				return chaos.FS.OpenFile(name, flag, perm)
+			}
+		}
 		var err error
-		st, err = store.Open(store.Options{Dir: *dataDir, MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
+		st, err = store.Open(opts)
 		if err != nil {
 			return err
 		}
@@ -55,6 +72,10 @@ func cmdServe(args []string) error {
 		if rec := st.Recovery(); rec.TruncatedBytes > 0 {
 			fmt.Printf("indaas: store recovery dropped a torn tail of %d bytes (%d entries intact)\n",
 				rec.TruncatedBytes, rec.Entries)
+		}
+		if rec := st.Recovery(); rec.QuarantinedBytes > 0 {
+			fmt.Printf("indaas: store recovery quarantined %d corrupt bytes in %d range(s); intact entries kept\n",
+				rec.QuarantinedBytes, rec.QuarantinedRanges)
 		}
 		restored, err := auditd.RestoreDB(st)
 		if err != nil {
@@ -72,22 +93,42 @@ func cmdServe(args []string) error {
 		}
 	}
 	svc := auditd.New(auditd.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		DB:             db,
-		DefaultTimeout: *timeout,
-		Store:          st,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		CacheEntries:          *cacheEntries,
+		DB:                    db,
+		DefaultTimeout:        *timeout,
+		Store:                 st,
+		StoreFailureThreshold: *storeFailThreshold,
+		StoreRetryInterval:    *storeRetryInterval,
+		RunHook:               chaos.Hook(),
 	})
 	// Without the ticker, size/age eviction only runs inside store writes,
 	// so an idle daemon would never enforce -store-max-age.
 	stopGC := svc.StartStoreGC(*storeGCInterval)
 	defer stopGC()
+	// Re-enqueue journaled jobs that a previous process accepted but never
+	// finished — before the listener opens, so a client polling a recovered
+	// job id never sees "unknown job" from the new process.
+	if st != nil {
+		if n, err := svc.RecoverJobs(); err != nil {
+			return fmt.Errorf("recovering journaled jobs: %w", err)
+		} else if n > 0 {
+			fmt.Printf("indaas: re-enqueued %d journaled job(s) from a previous run\n", n)
+		}
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{
+		Handler: svc.Handler(),
+		// Slow-loris protection. No WriteTimeout: status long-polls hold the
+		// response open for up to a minute by design.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	detail := ""

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -71,6 +72,19 @@ type Config struct {
 	// RestoreDB). The caller owns the store's lifecycle and should close it
 	// after Shutdown returns.
 	Store *store.Store
+	// StoreFailureThreshold is how many consecutive store-write failures trip
+	// the daemon into degraded (memory-only) serving (default 3).
+	StoreFailureThreshold int
+	// StoreRetryInterval is how often a degraded daemon probes the store with
+	// a real write to restore durable mode (default 15s).
+	StoreRetryInterval time.Duration
+	// RunHook, when set, runs before every computation's workload with the
+	// computation's context and key; a non-nil error fails the computation.
+	// It is the fault-injection seam: tests and `serve -chaos` use it to add
+	// latency or errors to otherwise-instant workloads.
+	RunHook func(ctx context.Context, key string) error
+	// Now overrides the clock the store circuit breaker uses (tests only).
+	Now func() time.Time
 }
 
 func (c *Config) defaults() {
@@ -142,6 +156,11 @@ type job struct {
 	// deadline without imposing it on the shared computation.
 	timeout time.Duration
 	timer   *time.Timer
+	// journaled means a job/<id> record is on disk and must be tombstoned
+	// when the job settles (guarded by Server.mu; see journal.go).
+	journaled bool
+	// recovered marks a job replayed from the journal after a crash.
+	recovered bool
 }
 
 func (j *job) terminal() bool {
@@ -169,11 +188,18 @@ type Server struct {
 	closed   bool
 
 	store *store.Store // cfg.Store; nil for a memory-only service
+	// breaker trips the daemon into degraded (memory-only) serving after
+	// repeated store-write failures; see breaker.go.
+	breaker *breaker
 	// ingestMu serializes ingests with their snapshot persistence so the
 	// durable current-snapshot pointer can never lag a concurrent ingest.
 	// snapMeta (the persisted snapshot chain's state) is guarded by it.
-	ingestMu sync.Mutex
-	snapMeta snapMeta
+	// snapDirty records that an ingest was committed in memory only while
+	// degraded: the persisted chain lags the live database, so the next
+	// durable ingest must lay down a fresh full base segment.
+	ingestMu  sync.Mutex
+	snapMeta  snapMeta
+	snapDirty bool
 }
 
 // New starts a service with cfg's worker pool running. Callers own the HTTP
@@ -192,6 +218,7 @@ func New(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheEntries),
 		lineage:  newLineageIndex(),
 		store:    cfg.Store,
+		breaker:  newBreaker(cfg.StoreFailureThreshold, cfg.StoreRetryInterval, cfg.Now),
 	}
 	if s.store != nil {
 		// Resume the persisted snapshot chain where the store left it so the
@@ -208,6 +235,12 @@ func New(cfg Config) *Server {
 // Submit validates and accepts an audit request, returning the new job's
 // status. The error, when non-nil, carries an HTTP status via statusErr.
 func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
+	return s.submit(req, "")
+}
+
+// submit is Submit with a recovery id: RecoverJobs replays journaled
+// requests through it so a crashed job reappears under its original id.
+func (s *Server) submit(req *SubmitRequest, recoverID string) (JobStatus, error) {
 	n, opts, err := req.normalize()
 	if err != nil {
 		return JobStatus{}, &statusErr{code: 400, err: err}
@@ -225,7 +258,7 @@ func (s *Server) Submit(req *SubmitRequest) (JobStatus, error) {
 		}
 		return rep, nil
 	}
-	extra := &jobExtras{}
+	extra := &jobExtras{journalKind: journalKindAudit, journalReq: req, recoverID: recoverID}
 	if len(req.Records) == 0 {
 		// Server-database jobs participate in the delta lineage: register the
 		// (fingerprint, snapshot, specs) generation on completion, and try to
@@ -280,6 +313,15 @@ type jobExtras struct {
 	partial bool     // job re-audits only its dirty subjects
 	dirty   []string // the dirty subjects
 	reg     *lineageReg
+	// journalKind/journalReq describe how to journal the submission: the
+	// wire request is marshaled and persisted under the job's id before the
+	// job can enter the queue, so a kill -9 cannot silently discard accepted
+	// work. Marshaling is deferred until the job is known to compute — hits
+	// never pay for it. recoverID replays a journaled job under its original
+	// id at boot.
+	journalKind string
+	journalReq  any
+	recoverID   string
 }
 
 // applyPlan folds a delta plan into the extras.
@@ -310,7 +352,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		// Adopted ancestor result: write it through under its new content
 		// address before any waiter can observe "done", like a computed
 		// result (persistResult does IO; the lock is not held yet).
-		evicted := s.persistResult(key, extra.adopt)
+		evicted := s.persistResult("delta-adopted result", key, extra.adopt)
 		defer func() {
 			s.mu.Lock()
 			s.dropCachedLocked(evicted, key)
@@ -324,14 +366,14 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		s.m.rejected.Add(1)
 		return JobStatus{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
 	}
-	s.nextID++
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", s.nextID),
+		id:        s.allocIDLocked(extra.recoverID),
 		key:       key,
 		title:     title,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		timeout:   timeout,
+		recovered: extra.recoverID != "",
 	}
 
 	if extra.adopt != nil {
@@ -352,6 +394,11 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		s.order = append(s.order, j.id)
 		s.m.submitted.Add(1)
 		s.pruneLocked()
+		if extra.recoverID != "" {
+			// The recovered job settled from its durable ancestor; its
+			// journal record is done.
+			go s.clearJournals([]string{j.id})
+		}
 		return j.statusLocked(), nil
 	}
 
@@ -380,6 +427,31 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		}
 	}
 
+	if !hit && s.store != nil && extra.journalKind != "" {
+		// The job will compute (or coalesce): journal it BEFORE it can enter
+		// the queue. Once any client observes this job id, a kill -9 must not
+		// silently discard the work — the next boot replays the journal. The
+		// marshal and IO happen with the lock released (same discipline as
+		// the disk probe).
+		s.mu.Unlock()
+		jr := s.journalFor(extra.journalKind, extra.journalReq)
+		if jr != nil {
+			s.persistJob(j.id, jr)
+		}
+		s.mu.Lock()
+		if s.closed {
+			go s.clearJournals([]string{j.id})
+			s.m.rejected.Add(1)
+			return JobStatus{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
+		}
+		j.journaled = jr != nil
+		if r, ok := s.cache.get(key); ok {
+			// The identical computation completed while the journal write was
+			// in flight; serve the hit.
+			res, hit = r, true
+		}
+	}
+
 	if hit {
 		// Content-addressed hit (memory or disk): finish instantly, never
 		// touch the queue. A disk hit serves a result computed before a
@@ -400,6 +472,13 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 			// first disk hit re-seeds the ancestry for future delta audits.
 			extra.reg.entry.resultKey = key
 			s.lineage.addLocked(extra.reg)
+		}
+		if j.journaled || extra.recoverID != "" {
+			// The hit resolved after the journal write (or this is a
+			// recovered job whose result was durable all along): the journal
+			// record is stale.
+			j.journaled = false
+			go s.clearJournals([]string{j.id})
 		}
 	} else if comp := s.inflight[key]; comp != nil {
 		// Identical computation already queued or running: coalesce.
@@ -442,6 +521,13 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		default:
 			cancel()
 			s.m.rejected.Add(1)
+			if j.journaled && extra.recoverID == "" {
+				// The rejected submission never became a job; drop its
+				// journal. A rejected *recovered* job keeps its record so the
+				// next boot retries once the queue has room.
+				j.journaled = false
+				go s.clearJournals([]string{j.id})
+			}
 			return JobStatus{}, &statusErr{code: 429, err: fmt.Errorf("queue full (%d computations pending)", s.cfg.QueueDepth)}
 		}
 	}
@@ -491,12 +577,15 @@ func (s *Server) armTimeoutLocked(j *job) {
 // detached; a computation shared with other jobs keeps running for them.
 func (s *Server) expireJob(id string, after time.Duration) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok || j.terminal() {
+		s.mu.Unlock()
 		return
 	}
 	s.cancelLocked(j, fmt.Errorf("timed out after %v: %w", after, context.DeadlineExceeded))
+	cleared := journaledIDsLocked([]*job{j})
+	s.mu.Unlock()
+	s.clearJournals(cleared)
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -517,6 +606,7 @@ func (s *Server) runComputation(comp *computation) {
 		return
 	}
 	comp.running = true
+	label := "job " + comp.jobs[0].id // first attached job; fixed for the computation's life
 	now := time.Now()
 	for _, j := range comp.jobs {
 		if !j.terminal() {
@@ -529,7 +619,7 @@ func (s *Server) runComputation(comp *computation) {
 
 	s.m.busyWorkers.Add(1)
 	s.m.computations.Add(1)
-	res, err := comp.run(comp.ctx)
+	res, err := s.execute(comp)
 	s.m.busyWorkers.Add(-1)
 
 	// Write through to the disk store BEFORE any waiter observes "done": a
@@ -537,13 +627,37 @@ func (s *Server) runComputation(comp *computation) {
 	// and must still find the result after restart.
 	var evicted []string
 	if err == nil && res != nil {
-		evicted = s.persistResult(comp.key, res)
+		evicted = s.persistResult(label, comp.key, res)
 	}
 
 	s.mu.Lock()
 	s.dropCachedLocked(evicted, comp.key)
 	s.finishLocked(comp, res, err)
+	cleared := journaledIDsLocked(comp.jobs)
 	s.mu.Unlock()
+	// The jobs are settled and (on success) the result is durable: their
+	// journal records have done their work.
+	s.clearJournals(cleared)
+}
+
+// execute runs one computation's workload behind the panic barrier and the
+// optional RunHook fault-injection seam. A panicking workload fails only
+// its own jobs — the stack lands in JobStatus.Error — while the worker and
+// the rest of the daemon keep serving.
+func (s *Server) execute(comp *computation) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.workerPanics.Add(1)
+			res = nil
+			err = fmt.Errorf("worker panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if hook := s.cfg.RunHook; hook != nil {
+		if err := hook(comp.ctx, comp.key); err != nil {
+			return nil, err
+		}
+	}
+	return comp.run(comp.ctx)
 }
 
 // finishLocked records a computation's outcome, caches successful results,
@@ -593,16 +707,23 @@ func (s *Server) finishLocked(comp *computation, res any, err error) {
 // their poll interval, releasing the worker.
 func (s *Server) Cancel(id string) (JobStatus, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return JobStatus{}, &statusErr{code: 404, err: fmt.Errorf("unknown job %q", id)}
 	}
 	if j.terminal() {
-		return j.statusLocked(), nil // idempotent
+		st := j.statusLocked()
+		s.mu.Unlock()
+		return st, nil // idempotent
 	}
 	s.cancelLocked(j, context.Canceled)
-	return j.statusLocked(), nil
+	st := j.statusLocked()
+	// A deliberately canceled job must not be resurrected at the next boot.
+	cleared := journaledIDsLocked([]*job{j})
+	s.mu.Unlock()
+	s.clearJournals(cleared)
+	return st, nil
 }
 
 // cancelLocked moves a non-terminal job to StateCanceled with the given
@@ -728,12 +849,17 @@ func (s *Server) Stats() Stats {
 	if s.store != nil {
 		storeStats = s.store.Stats()
 	}
+	degraded, reason := s.breaker.degraded()
 	return Stats{
-		StoreEnabled:   s.store != nil,
-		StoreHits:      s.m.storeHits.Load(),
-		StoreEvictions: s.m.storeEvictions.Load(),
-		StoreErrors:    s.m.storeErrors.Load(),
-		Store:          storeStats,
+		StoreEnabled:       s.store != nil,
+		StoreHits:          s.m.storeHits.Load(),
+		StoreEvictions:     s.m.storeEvictions.Load(),
+		StoreErrors:        s.m.storeErrors.Load(),
+		StoreSkippedWrites: s.m.storeSkipped.Load(),
+		StoreTrips:         s.breaker.tripCount(),
+		Degraded:           degraded,
+		DegradedReason:     reason,
+		Store:              storeStats,
 
 		Submitted:       s.m.submitted.Load(),
 		Completed:       s.m.completed.Load(),
@@ -754,6 +880,9 @@ func (s *Server) Stats() Stats {
 		DeltaHits:          s.m.deltaHits.Load(),
 		DeltaPartials:      s.m.deltaPartials.Load(),
 		DeltaDirtySubjects: s.m.deltaDirty.Load(),
+
+		JobsRecovered: s.m.jobsRecovered.Load(),
+		WorkerPanics:  s.m.workerPanics.Load(),
 	}
 }
 
@@ -844,6 +973,7 @@ func (j *job) statusLocked() JobStatus {
 		Coalesced:     j.coalesced,
 		DeltaHit:      j.deltaHit,
 		DirtySubjects: j.dirtySubjects,
+		Recovered:     j.recovered,
 		SubmittedAt:   j.submitted,
 	}
 	if !j.started.IsZero() {
@@ -877,10 +1007,13 @@ func retitle(res any, title string) any {
 	}
 }
 
-// statusErr pairs an error with the HTTP status it should map to.
+// statusErr pairs an error with the HTTP status it should map to. On the
+// client side it also carries the server's Retry-After hint, which the
+// backoff honors.
 type statusErr struct {
-	code int
-	err  error
+	code       int
+	err        error
+	retryAfter time.Duration
 }
 
 func (e *statusErr) Error() string { return e.err.Error() }

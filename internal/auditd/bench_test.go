@@ -175,6 +175,24 @@ func BenchmarkFig7ColdAudit(b *testing.B) {
 // submits a distinct cache key by varying the deployment name.
 func BenchmarkColdCompute(b *testing.B) {
 	s, req := benchServer(b, Config{Workers: 1, CacheEntries: -1})
+	coldComputeLoop(b, s, req)
+}
+
+// BenchmarkColdComputeJournaled is BenchmarkColdCompute on a durable
+// daemon: each job additionally pays the crash-safety writes — the job
+// journal Put before it enters the queue, the result write-through, and the
+// journal tombstone once it settles.
+func BenchmarkColdComputeJournaled(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	s, req := benchServer(b, Config{Workers: 1, CacheEntries: -1, Store: st})
+	coldComputeLoop(b, s, req)
+}
+
+func coldComputeLoop(b *testing.B, s *Server, req *SubmitRequest) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 	b.ReportAllocs()

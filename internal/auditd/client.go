@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"indaas/internal/report"
@@ -19,10 +23,56 @@ import (
 // far larger than the server's request bound — a sanity stop, not a budget.
 const maxResponseBody = 1 << 30
 
+// RetryPolicy controls the client's backoff on transient failures: refused
+// connections (daemon restarting), 429 (queue full) and 502/503/504.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request; 1 disables
+	// retries and <= 0 means the default (6).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); MaxDelay
+	// caps it (default 3s). A server Retry-After hint overrides a shorter
+	// computed delay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy is what NewClient installs: six attempts spanning
+// roughly five seconds — enough to ride out a daemon restart or a briefly
+// full queue without masking a real outage for long.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 3 * time.Second}
+
+// backoff is the capped, jittered exponential delay before attempt+2; a
+// server Retry-After hint wins when longer. Jitter de-synchronizes clients
+// hammering a recovering daemon.
+func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = DefaultRetryPolicy.BaseDelay
+	}
+	if cap <= 0 {
+		cap = DefaultRetryPolicy.MaxDelay
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > cap {
+		d = cap
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // 50%..150%
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
 // Client talks to an audit service over its HTTP/JSON API.
 type Client struct {
 	base string
 	hc   *http.Client
+	// Retry is the transient-failure policy applied to every call. Submits,
+	// polls, and report fetches are content-addressed or read-only, hence
+	// idempotent and always retried; Ingest appends records, so it is only
+	// resent when the connection was refused (nothing reached the server)
+	// or the server said 429/503 before ingesting.
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the service at base, e.g.
@@ -31,23 +81,55 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, Retry: DefaultRetryPolicy}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
-	var rd io.Reader
+	return c.doRetry(ctx, method, path, body, out, true)
+}
+
+// doRetry marshals body once and runs the attempt loop. idempotent widens
+// the retry set to include ambiguous transport failures (the request may
+// have executed); non-idempotent calls only retry errors that prove the
+// server did not act.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out interface{}, idempotent bool) error {
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
+		var err error
+		blob, err = json.Marshal(body)
 		if err != nil {
 			return err
 		}
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRetryPolicy.MaxAttempts
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, blob, out)
+		if err == nil || attempt+1 >= attempts {
+			return err
+		}
+		retry, hint := transientError(err, idempotent)
+		if !retry {
+			return err
+		}
+		if sleepCtx(ctx, c.Retry.backoff(attempt, hint)) != nil {
+			return err // the caller's deadline beats another attempt
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, blob []byte, out interface{}) error {
+	var rd io.Reader
+	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -55,21 +137,65 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 		return err
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode >= 400 {
-		var eb errorBody
-		if json.Unmarshal(blob, &eb) == nil && eb.Error != "" {
-			return &statusErr{code: resp.StatusCode, err: fmt.Errorf("auditd: %s", eb.Error)}
+		var ra time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				ra = time.Duration(secs) * time.Second
+			}
 		}
-		return &statusErr{code: resp.StatusCode, err: fmt.Errorf("auditd: HTTP %d", resp.StatusCode)}
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return &statusErr{code: resp.StatusCode, retryAfter: ra, err: fmt.Errorf("auditd: %s", eb.Error)}
+		}
+		return &statusErr{code: resp.StatusCode, retryAfter: ra, err: fmt.Errorf("auditd: HTTP %d", resp.StatusCode)}
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(blob, out)
+	return json.Unmarshal(body, out)
+}
+
+// transientError classifies an error as worth retrying, with the server's
+// Retry-After hint when one came back. A refused connection means nothing
+// reached the daemon — safe to resend anything; other transport errors are
+// ambiguous and retried only for idempotent requests.
+func transientError(err error, idempotent bool) (bool, time.Duration) {
+	var se *statusErr
+	if errors.As(err, &se) {
+		switch se.code {
+		case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true, se.retryAfter
+		}
+		return false, 0
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		if errors.Is(ue.Err, context.Canceled) || errors.Is(ue.Err, context.DeadlineExceeded) {
+			return false, 0
+		}
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			return true, 0
+		}
+		return idempotent, 0
+	}
+	return false, 0
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Submit submits an audit job.
@@ -90,13 +216,28 @@ func (c *Client) Status(ctx context.Context, id string, wait time.Duration) (Job
 	return st, err
 }
 
-// WaitDone long-polls until the job reaches a terminal state or ctx is done.
+// WaitDone long-polls until the job reaches a terminal state or ctx is
+// done. It survives a daemon restart mid-poll: transient errors — refused
+// connections while the daemon is down, 429/503 — are retried with backoff
+// for as long as ctx allows, and a journal-recovering daemon serves the
+// same job id again once it is back up. Hard errors (404 on an evicted
+// job, 400s) still return immediately.
 func (c *Client) WaitDone(ctx context.Context, id string) (JobStatus, error) {
+	attempt := 0
 	for {
 		st, err := c.Status(ctx, id, 10*time.Second)
 		if err != nil {
-			return st, err
+			retry, hint := transientError(err, true)
+			if !retry {
+				return st, err
+			}
+			if sleepCtx(ctx, c.Retry.backoff(attempt, hint)) != nil {
+				return st, err
+			}
+			attempt++
+			continue
 		}
+		attempt = 0
 		switch st.State {
 		case StateDone, StateFailed, StateCanceled:
 			return st, nil
@@ -177,10 +318,13 @@ func (c *Client) RecommendResult(ctx context.Context, id string) (*RecommendResp
 }
 
 // Ingest appends dependency records to the server's database and returns
-// the database's new canonical fingerprint.
+// the database's new canonical fingerprint. Ingest is NOT idempotent — a
+// duplicated batch changes the fingerprint — so only failures that prove
+// the server did not ingest (refused connection, 429/503 rejections, which
+// the server sends before committing anything) are retried.
 func (c *Client) Ingest(ctx context.Context, records []RecordWire) (IngestResponse, error) {
 	var resp IngestResponse
-	err := c.do(ctx, http.MethodPost, "/v1/depdb", &IngestRequest{Records: records}, &resp)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/depdb", &IngestRequest{Records: records}, &resp, false)
 	return resp, err
 }
 

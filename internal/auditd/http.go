@@ -34,7 +34,13 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+	code := httpStatus(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		// A transient condition (full queue, shutdown, degraded store): tell
+		// well-behaved clients — including Client's backoff — when to retry.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
 // decodeJSON parses a bounded, unknown-field-rejecting JSON body into v; on
@@ -169,15 +175,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports liveness plus the served database's identity — the
 // record count and canonical fingerprint — so an operator (or the restart
-// smoke test) can confirm a restarted daemon serves the same data.
+// smoke test) can confirm a restarted daemon serves the same data. Status
+// flips to "degraded" (with the reason and the error count) while repeated
+// store failures have the daemon serving memory-only; OK stays true — the
+// daemon is alive and answering, just not durable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		OK            bool   `json:"ok"`
-		Durable       bool   `json:"durable"`
-		DBRecords     int    `json:"db_records"`
-		DBFingerprint string `json:"db_fingerprint,omitempty"`
+		OK             bool   `json:"ok"`
+		Status         string `json:"status"`
+		Durable        bool   `json:"durable"`
+		DegradedReason string `json:"degraded_reason,omitempty"`
+		StoreErrors    int64  `json:"store_errors,omitempty"`
+		DBRecords      int    `json:"db_records"`
+		DBFingerprint  string `json:"db_fingerprint,omitempty"`
 	}
-	h := health{OK: true, Durable: s.store != nil}
+	h := health{OK: true, Status: "ok", Durable: s.store != nil}
+	if s.store != nil {
+		if deg, reason := s.breaker.degraded(); deg {
+			h.Status = "degraded"
+			h.Durable = false
+			h.DegradedReason = reason
+		}
+		h.StoreErrors = s.m.storeErrors.Load()
+	}
 	s.mu.Lock()
 	db := s.db
 	s.mu.Unlock()

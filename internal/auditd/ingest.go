@@ -26,6 +26,11 @@ type IngestResponse struct {
 	// Fingerprint is the canonical content hash of the database snapshot
 	// registered by this ingest.
 	Fingerprint string `json:"fingerprint"`
+	// Durable reports whether the batch was persisted before being
+	// acknowledged. False on a memory-only service, and on a durable one
+	// while it serves degraded: the records are live but will not survive a
+	// restart until the store recovers and a later ingest rebuilds the chain.
+	Durable bool `json:"durable"`
 }
 
 // Ingest validates and appends dependency records to the server's database,
@@ -74,11 +79,20 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	// the client's retry cannot duplicate records (depdb.Put appends blindly
 	// and duplicates change the canonical fingerprint). Only the batch (and,
 	// the first time, the pre-existing records) is written — never a copy of
-	// the whole database per request.
+	// the whole database per request. While the breaker is open the batch is
+	// committed to memory only and the chain is marked stale (snapDirty), so
+	// the next durable ingest rebuilds it in full.
+	durable := false
 	if s.store != nil {
-		if err := s.persistIngestLocked(db, records); err != nil {
-			s.m.storeErrors.Add(1)
-			return IngestResponse{}, &statusErr{code: 500, err: fmt.Errorf("snapshot not persisted, no records ingested (safe to retry): %w", err)}
+		if s.breaker.allow() {
+			if err := s.persistIngestLocked(db, records); err != nil {
+				s.storeFailure(fmt.Sprintf("persisting ingest of %d records", len(records)), err)
+				return IngestResponse{}, &statusErr{code: 503, err: fmt.Errorf("snapshot not persisted, no records ingested (safe to retry): %w", err)}
+			}
+			s.storeOK()
+			durable = true
+		} else {
+			s.m.storeSkipped.Add(1)
 		}
 	}
 	if err := db.Put(records...); err != nil {
@@ -86,11 +100,15 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 		// silently diverge memory from the persisted snapshot chain.
 		return IngestResponse{}, &statusErr{code: 500, err: err}
 	}
+	if s.store != nil && !durable {
+		s.snapDirty = true
+	}
 	s.m.ingestedRecords.Add(int64(len(records)))
 	snap := db.Snapshot()
 	return IngestResponse{
 		Added:       len(records),
 		Total:       snap.Len(),
 		Fingerprint: snap.Fingerprint(),
+		Durable:     durable,
 	}, nil
 }

@@ -32,6 +32,10 @@ type metrics struct {
 	storeHits      atomic.Int64 // jobs answered from the disk store
 	storeEvictions atomic.Int64 // disk evictions mirrored into the memory LRU
 	storeErrors    atomic.Int64 // persist/encode failures (results kept in memory)
+	storeSkipped   atomic.Int64 // writes skipped while serving degraded
+
+	jobsRecovered atomic.Int64 // journaled jobs re-enqueued at boot
+	workerPanics  atomic.Int64 // workload panics isolated to their own job
 }
 
 // Stats is a point-in-time snapshot of the service counters, exported for
@@ -64,11 +68,23 @@ type Stats struct {
 
 	// StoreEnabled reports whether the service runs with a persistent
 	// store; the Store* fields below are only meaningful when it does.
-	StoreEnabled   bool
-	StoreHits      int64 // jobs answered from the disk tier
-	StoreEvictions int64 // disk evictions mirrored into the memory LRU
-	StoreErrors    int64 // persist failures (results stayed in memory)
-	Store          store.Stats
+	StoreEnabled       bool
+	StoreHits          int64 // jobs answered from the disk tier
+	StoreEvictions     int64 // disk evictions mirrored into the memory LRU
+	StoreErrors        int64 // persist failures (results stayed in memory)
+	StoreSkippedWrites int64 // writes skipped while serving degraded
+	StoreTrips         int64 // times the breaker tripped into degraded mode
+	Store              store.Stats
+
+	// Degraded reports the circuit breaker's state: true while repeated
+	// store-write failures have the daemon serving memory-only.
+	Degraded       bool
+	DegradedReason string
+
+	// JobsRecovered counts journaled jobs re-enqueued at boot after a crash;
+	// WorkerPanics counts workload panics isolated to their own job.
+	JobsRecovered int64
+	WorkerPanics  int64
 }
 
 // HitRate is the fraction of accepted jobs that did not need their own
@@ -108,16 +124,26 @@ func (s Stats) render(w io.Writer) {
 	gauge("auditd_queue_depth", "Computations waiting for a worker.", s.QueueDepth)
 	gauge("auditd_workers", "Size of the worker pool.", s.Workers)
 	gauge("auditd_workers_busy", "Workers currently running a computation.", s.BusyWorkers)
+	counter("auditd_jobs_recovered_total", "Journaled jobs re-enqueued at boot after a crash.", s.JobsRecovered)
+	counter("auditd_worker_panics_total", "Workload panics isolated to their own job.", s.WorkerPanics)
 	if s.StoreEnabled {
 		counter("auditd_store_hits_total", "Jobs answered from the persistent store.", s.StoreHits)
 		counter("auditd_store_puts_total", "Entries written to the persistent store.", s.Store.Puts)
 		counter("auditd_store_evictions_total", "Persistent-store evictions (mirrored into the memory cache).", s.Store.Evictions)
 		counter("auditd_store_compactions_total", "Persistent-store segment compactions.", s.Store.Compactions)
 		counter("auditd_store_errors_total", "Persist failures; the results stayed in memory.", s.StoreErrors)
+		counter("auditd_store_skipped_writes_total", "Store writes skipped while serving degraded.", s.StoreSkippedWrites)
+		counter("auditd_store_breaker_trips_total", "Times repeated store failures tripped degraded mode.", s.StoreTrips)
+		degraded := 0
+		if s.Degraded {
+			degraded = 1
+		}
+		gauge("auditd_degraded", "1 while the daemon serves memory-only after store failures.", degraded)
 		gauge("auditd_store_entries", "Live entries in the persistent store.", s.Store.Entries)
 		gauge("auditd_store_live_bytes", "Bytes of live entries in the persistent store.", s.Store.LiveBytes)
 		gauge("auditd_store_file_bytes", "Persistent-store segment size on disk.", s.Store.FileBytes)
 		gauge("auditd_store_recovered_entries", "Entries recovered when the store was opened.", s.Store.Recovery.Entries)
 		gauge("auditd_store_recovery_truncated_bytes", "Torn-tail bytes dropped by the last recovery.", s.Store.Recovery.TruncatedBytes)
+		gauge("auditd_store_recovery_quarantined_bytes", "Mid-segment corrupt bytes quarantined by the last recovery.", s.Store.Recovery.QuarantinedBytes)
 	}
 }

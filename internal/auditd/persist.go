@@ -270,10 +270,16 @@ func (s *Server) diskGet(key string) (any, bool) {
 
 // persistResult writes a completed computation through to the disk store,
 // returning any keys the store evicted to stay within budget (mirrored into
-// the memory LRU by the caller). Persist failures are recorded but never
-// fail the job: the result still lives in memory.
-func (s *Server) persistResult(key string, res any) []string {
+// the memory LRU by the caller). Persist failures are logged once with the
+// label (which job or delta adoption was being written) and feed the
+// circuit breaker, but never fail the job: the result still lives in
+// memory. While the breaker is open the write is skipped outright.
+func (s *Server) persistResult(label, key string, res any) []string {
 	if s.store == nil {
+		return nil
+	}
+	if !s.breaker.allow() {
+		s.m.storeSkipped.Add(1)
 		return nil
 	}
 	blob, err := encodeResult(res)
@@ -283,7 +289,9 @@ func (s *Server) persistResult(key string, res any) []string {
 	}
 	evicted, err := s.store.Put(key, store.KindResult, blob)
 	if err != nil {
-		s.m.storeErrors.Add(1)
+		s.storeFailure("persisting result of "+label, err)
+	} else {
+		s.storeOK()
 	}
 	return evicted
 }
@@ -302,9 +310,12 @@ func (s *Server) persistIngestLocked(db *depdb.DB, batch []deps.Record) error {
 	newFP := db.FingerprintWith(batch...)
 	meta := s.snapMeta
 	var evicted []string
-	if meta.Segments == 0 {
-		// First durable snapshot: the base segment must carry everything the
-		// live database already holds plus the batch.
+	if meta.Segments == 0 || s.snapDirty {
+		// First durable snapshot — or the persisted chain went stale while
+		// degraded ingests were committed to memory only: the base segment
+		// must carry everything the live database already holds plus the
+		// batch. A fresh generation replaces the stale chain; its old
+		// segments are swept at the next boot.
 		meta = snapMeta{Fingerprint: newFP, Gen: meta.Gen + 1, Segments: 1}
 		ev, err := writeChain(s.store, append(db.Records(), batch...), meta)
 		evicted = append(evicted, ev...)
@@ -334,6 +345,7 @@ func (s *Server) persistIngestLocked(db *depdb.DB, batch []deps.Record) error {
 		}
 	}
 	s.snapMeta = meta
+	s.snapDirty = false
 	s.mu.Lock()
 	s.dropCachedLocked(evicted, "")
 	s.mu.Unlock()

@@ -204,6 +204,12 @@ func (r *RecommendRequest) PlacementRequest() (placement.Request, error) {
 // result cache and cancellation plumbing: poll and fetch them through the
 // same /v1/audits/{id} endpoints.
 func (s *Server) Recommend(req *RecommendRequest) (JobStatus, error) {
+	return s.recommend(req, "")
+}
+
+// recommend is Recommend with a recovery id: RecoverJobs replays journaled
+// requests through it so a crashed job reappears under its original id.
+func (s *Server) recommend(req *RecommendRequest, recoverID string) (JobStatus, error) {
 	n, preq, err := req.normalize()
 	if err != nil {
 		return JobStatus{}, &statusErr{code: 400, err: err}
@@ -241,7 +247,7 @@ func (s *Server) Recommend(req *RecommendRequest) (JobStatus, error) {
 		return JobStatus{}, &statusErr{code: 400, err: err}
 	}
 
-	extra := &jobExtras{}
+	extra := &jobExtras{journalKind: journalKindRecommend, journalReq: req, recoverID: recoverID}
 	if len(req.Records) == 0 {
 		reqKey := n.requestKey()
 		universe := append(append([]string(nil), n.Fixed...), n.Nodes...)

@@ -360,12 +360,17 @@ func TestMetricsExposeStoreCounters(t *testing.T) {
 	defer gracefulShutdown(t, s)
 	j := mustSubmit(t, s, quickRequest("metrics"))
 	waitDone(t, s, j.ID)
+	// Two puts per computed job — the crash journal and the result — and the
+	// journal's tombstone lands shortly after the job settles.
+	for i := 0; i < 200 && st.Stats().Entries != 1; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
 	var sb strings.Builder
 	s.Stats().render(&sb)
 	text := sb.String()
 	for _, want := range []string{
 		"auditd_store_hits_total 0",
-		"auditd_store_puts_total 1",
+		"auditd_store_puts_total 2",
 		"auditd_store_entries 1",
 		"auditd_store_recovered_entries 0",
 	} {

@@ -1,0 +1,418 @@
+package auditd
+
+// Survivability tests: crash-safe job recovery through the journal,
+// degraded (memory-only) serving behind the store circuit breaker, and
+// worker panic isolation. "kill -9" is emulated in-process by closing the
+// store out from under a daemon whose workload is parked on a RunHook —
+// the journal record is on disk, the job never settles, and a second
+// daemon opening the same directory must pick the work back up.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"indaas/internal/faultinject"
+	"indaas/internal/store"
+)
+
+// blockingHook parks every computation until release is closed; it honors
+// cancellation so an abandoned daemon can still shut down.
+func blockingHook(release <-chan struct{}) func(context.Context, string) error {
+	return func(ctx context.Context, key string) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// waitNoJournal polls until the store holds no KindJob entries (journal
+// tombstones land asynchronously after a job settles).
+func waitNoJournal(t *testing.T, st *store.Store) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		live := 0
+		for _, e := range st.Entries() {
+			if e.Kind == store.KindJob {
+				live++
+			}
+		}
+		if live == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("journal records never tombstoned")
+}
+
+func journalEntries(st *store.Store) []string {
+	var keys []string
+	for _, e := range st.Entries() {
+		if e.Kind == store.KindJob {
+			keys = append(keys, e.Key)
+		}
+	}
+	return keys
+}
+
+// TestJournalRecoveryAfterCrash is the tentpole contract: a job accepted
+// before a kill -9 is re-enqueued at the next boot under its original id,
+// completes with the same report an uninterrupted run produces, re-anchors
+// the delta lineage, and its journal record is tombstoned.
+func TestJournalRecoveryAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	release := make(chan struct{})
+	s1 := New(Config{Workers: 1, Store: st1, RunHook: blockingHook(release)})
+	defer shutdown(t, s1) // cancels the parked computation at test end
+	mustIngest(t, s1, deltaRecords())
+
+	first := mustSubmit(t, s1, deltaAuditRequest("crash-me"))
+	if first.ID != "job-000001" || first.State == StateDone {
+		t.Fatalf("submitted = %+v, want a queued job-000001", first)
+	}
+	// Submit returned, so the journal record is already durable; the
+	// workload is parked on the hook. Emulate kill -9 by yanking the store.
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	if keys := journalEntries(st2); len(keys) != 1 || keys[0] != "job/job-000001" {
+		t.Fatalf("journal after crash = %v, want [job/job-000001]", keys)
+	}
+	db, err := RestoreDB(st2)
+	if err != nil || db == nil {
+		t.Fatalf("RestoreDB = %v, %v", db, err)
+	}
+	s2 := New(Config{Workers: 1, Store: st2, DB: db})
+	defer gracefulShutdown(t, s2)
+	n, err := s2.RecoverJobs()
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverJobs = %d, %v; want 1 job", n, err)
+	}
+	if got := s2.Stats().JobsRecovered; got != 1 {
+		t.Fatalf("JobsRecovered = %d", got)
+	}
+
+	// Same id, flagged as recovered, and it completes for real this time.
+	done := waitDone(t, s2, "job-000001")
+	if done.State != StateDone || !done.Recovered {
+		t.Fatalf("recovered job = %+v, want done+recovered", done)
+	}
+	recoveredRep, err := s2.Report("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered run's report must match an uninterrupted run's.
+	clean := New(Config{Workers: 1})
+	defer gracefulShutdown(t, clean)
+	mustIngest(t, clean, deltaRecords())
+	cj := mustSubmit(t, clean, deltaAuditRequest("crash-me"))
+	waitDone(t, clean, cj.ID)
+	cleanRep, err := clean.Report(cj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := regexp.MustCompile(`"elapsed_ns":\d+`)
+	norm := func(rep any) string {
+		b, _ := json.Marshal(rep)
+		return elapsed.ReplaceAllString(string(b), `"elapsed_ns":0`)
+	}
+	if got, want := norm(recoveredRep), norm(cleanRep); got != want {
+		t.Fatalf("recovered report diverges from clean run:\n%s\nvs\n%s", got, want)
+	}
+
+	waitNoJournal(t, st2)
+
+	// Fresh ids continue past the recovered one, and the recovered job's
+	// completion re-anchored the lineage: ingest-then-resubmit delta-hits.
+	next := mustSubmit(t, s2, deltaAuditRequest("next"))
+	if next.ID != "job-000002" {
+		t.Fatalf("post-recovery id = %s, want job-000002", next.ID)
+	}
+	mustIngest(t, s2, []RecordWire{{Kind: "hardware", HW: "spare-9", Type: "NIC", Dep: "spare-9-nic"}})
+	delta := mustSubmit(t, s2, deltaAuditRequest("post-crash-delta"))
+	if delta.State != StateDone || !delta.DeltaHit {
+		t.Fatalf("post-crash delta = %+v", delta)
+	}
+	if got := s2.Stats().Computations; got != 1 {
+		t.Fatalf("computations = %d, want only the recovered job's", got)
+	}
+}
+
+// TestStaleJournalSelfHeals: a crash after the result was persisted but
+// before the journal tombstone leaves a stale record; the next boot replays
+// it, the replay disk-hits instantly, and the record is cleared — no
+// recomputation, no wedged boots.
+func TestStaleJournalSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	s1 := New(Config{Workers: 1, Store: st1})
+	req := quickRequest("stale")
+	j := mustSubmit(t, s1, req)
+	waitDone(t, s1, j.ID)
+	waitNoJournal(t, st1)
+	// Re-create the journal record the crash would have left behind.
+	blob, _ := json.Marshal(req)
+	rec, _ := json.Marshal(journalRecord{Kind: journalKindAudit, Request: blob})
+	if _, err := st1.Put(journalKey(j.ID), store.KindJob, rec); err != nil {
+		t.Fatal(err)
+	}
+	gracefulShutdown(t, s1)
+	st1.Close()
+
+	st2 := openStore(t, dir)
+	s2 := New(Config{Workers: 1, Store: st2})
+	defer gracefulShutdown(t, s2)
+	n, err := s2.RecoverJobs()
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverJobs = %d, %v", n, err)
+	}
+	st, err := s2.Status(j.ID)
+	if err != nil || st.State != StateDone || !st.DiskHit || !st.Recovered {
+		t.Fatalf("replayed job = %+v, %v; want an instant disk hit", st, err)
+	}
+	if got := s2.Stats().Computations; got != 0 {
+		t.Fatalf("stale-journal replay ran %d computations", got)
+	}
+	waitNoJournal(t, st2)
+}
+
+// TestCanceledJobNotResurrected: canceling a journaled job tombstones its
+// record, so a restart does not replay work the client explicitly killed.
+func TestCanceledJobNotResurrected(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	release := make(chan struct{})
+	s1 := New(Config{Workers: 1, Store: st1, RunHook: blockingHook(release)})
+	j := mustSubmit(t, s1, quickRequest("doomed"))
+	if _, err := s1.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitNoJournal(t, st1)
+	close(release)
+	gracefulShutdown(t, s1)
+	st1.Close()
+
+	st2 := openStore(t, dir)
+	s2 := New(Config{Workers: 1, Store: st2})
+	defer gracefulShutdown(t, s2)
+	if n, _ := s2.RecoverJobs(); n != 0 {
+		t.Fatalf("recovered %d jobs after an explicit cancel", n)
+	}
+}
+
+// faultStore opens a store in dir routed through the injecting FS.
+func faultStore(t *testing.T, dir string, fs *faultinject.FS) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, OpenFile: func(name string, flag int, perm os.FileMode) (store.File, error) {
+		return fs.OpenFile(name, flag, perm)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestDegradedModeTripAndRecover: repeated ENOSPC trips the breaker — the
+// daemon keeps serving from memory, stops hammering the disk — and a
+// successful half-open probe after the cooldown restores durable mode.
+func TestDegradedModeTripAndRecover(t *testing.T) {
+	fs := &faultinject.FS{}
+	st := faultStore(t, t.TempDir(), fs)
+	clock := &fakeClock{now: time.Now()}
+	s := New(Config{
+		Workers: 1, Store: st,
+		StoreFailureThreshold: 2, StoreRetryInterval: 10 * time.Second,
+		Now: clock.Now,
+	})
+	defer gracefulShutdown(t, s)
+
+	fs.FailWrites(fs.Writes()+1, 0, syscall.ENOSPC) // every write fails until Reset
+
+	// Job A: the journal write fails (1), then the result persist fails (2)
+	// — threshold reached, breaker opens.
+	a := mustSubmit(t, s, quickRequest("a"))
+	if waitDone(t, s, a.ID).State != StateDone {
+		t.Fatal("store failures must not fail the job")
+	}
+	stats := s.Stats()
+	if !stats.Degraded || stats.StoreTrips != 1 || stats.StoreErrors != 2 {
+		t.Fatalf("after trip: %+v", stats)
+	}
+	if !strings.Contains(stats.DegradedReason, "no space left") {
+		t.Fatalf("degraded reason = %q", stats.DegradedReason)
+	}
+
+	// Job B (distinct key): served memory-only, no new write attempts.
+	reqB := quickRequest("b")
+	reqB.Deployments[0].Name = "alt"
+	b := mustSubmit(t, s, reqB)
+	if waitDone(t, s, b.ID).State != StateDone {
+		t.Fatal("degraded daemon must keep serving")
+	}
+	stats = s.Stats()
+	if stats.StoreErrors != 2 {
+		t.Fatalf("degraded mode still hit the store: %d errors", stats.StoreErrors)
+	}
+	if stats.StoreSkippedWrites == 0 {
+		t.Fatal("no writes were skipped while degraded")
+	}
+
+	// Disk recovers; after the cooldown the next write probes and closes
+	// the breaker.
+	fs.Reset()
+	clock.Advance(11 * time.Second)
+	reqC := quickRequest("c")
+	reqC.Deployments[0].Name = "other"
+	c := mustSubmit(t, s, reqC)
+	done := waitDone(t, s, c.ID)
+	stats = s.Stats()
+	if stats.Degraded {
+		t.Fatalf("breaker still open after a successful probe: %+v", stats)
+	}
+	// Done implies durable again: the result is on disk.
+	if _, kind, ok, err := st.Get(done.CacheKey); err != nil || !ok || kind != store.KindResult {
+		t.Fatalf("post-recovery result not durable: kind=%v ok=%v err=%v", kind, ok, err)
+	}
+}
+
+// TestIngestDegradedChainRepair: an ingest that cannot persist is rejected
+// 503 (safe to retry); once the breaker is open the retry commits to memory
+// with Durable=false; and the first durable ingest after recovery rebuilds
+// the snapshot chain in full, so a restart serves every batch — including
+// the ones accepted while degraded.
+func TestIngestDegradedChainRepair(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faultinject.FS{}
+	st := faultStore(t, dir, fs)
+	clock := &fakeClock{now: time.Now()}
+	s := New(Config{
+		Workers: 1, Store: st,
+		StoreFailureThreshold: 1, StoreRetryInterval: 10 * time.Second,
+		Now: clock.Now,
+	})
+
+	batch := func(hw string) []RecordWire {
+		return []RecordWire{{Kind: "hardware", HW: hw, Type: "Disk", Dep: hw + "-disk"}}
+	}
+	r1, err := s.Ingest(&IngestRequest{Records: batch("h1")})
+	if err != nil || !r1.Durable {
+		t.Fatalf("ingest 1 = %+v, %v", r1, err)
+	}
+
+	fs.FailWrites(fs.Writes()+1, 0, syscall.ENOSPC)
+	_, err = s.Ingest(&IngestRequest{Records: batch("h2")})
+	if err == nil || httpStatus(err) != 503 || !strings.Contains(err.Error(), "safe to retry") {
+		t.Fatalf("failed ingest = %v (HTTP %d), want a retryable 503", err, httpStatus(err))
+	}
+	// The memory DB was left untouched, so the retry cannot duplicate. The
+	// breaker (threshold 1) is now open: the retry is accepted memory-only.
+	r2, err := s.Ingest(&IngestRequest{Records: batch("h2")})
+	if err != nil || r2.Durable {
+		t.Fatalf("degraded ingest = %+v, %v; want accepted with Durable=false", r2, err)
+	}
+	if r2.Total != 2 {
+		t.Fatalf("degraded ingest total = %d, want 2", r2.Total)
+	}
+
+	// Disk back: the next ingest probes, and — because the chain went stale
+	// — lays down a full fresh base carrying the degraded batch too.
+	fs.Reset()
+	clock.Advance(11 * time.Second)
+	r3, err := s.Ingest(&IngestRequest{Records: batch("h3")})
+	if err != nil || !r3.Durable {
+		t.Fatalf("healing ingest = %+v, %v", r3, err)
+	}
+
+	gracefulShutdown(t, s)
+	st.Close()
+	st2 := openStore(t, dir)
+	db, err := RestoreDB(st2)
+	if err != nil || db == nil {
+		t.Fatalf("RestoreDB = %v, %v", db, err)
+	}
+	snap := db.Snapshot()
+	if snap.Fingerprint() != r3.Fingerprint || snap.Len() != r3.Total {
+		t.Fatalf("restored db = %s (%d records), want %s (%d)",
+			snap.Fingerprint(), snap.Len(), r3.Fingerprint, r3.Total)
+	}
+}
+
+// TestWorkerPanicIsolated: a panicking workload fails only its own job —
+// with the stack in the error — and the worker keeps serving later jobs.
+func TestWorkerPanicIsolated(t *testing.T) {
+	var calls atomic.Int64
+	s := New(Config{Workers: 1, RunHook: func(ctx context.Context, key string) error {
+		if calls.Add(1) == 1 {
+			panic("kaboom")
+		}
+		return nil
+	}})
+	defer gracefulShutdown(t, s)
+
+	a := mustSubmit(t, s, quickRequest("panics"))
+	stA := waitDone(t, s, a.ID)
+	if stA.State != StateFailed {
+		t.Fatalf("panicked job = %+v, want failed", stA)
+	}
+	if !strings.Contains(stA.Error, "worker panic: kaboom") || !strings.Contains(stA.Error, "goroutine") {
+		t.Fatalf("panic error lost the stack: %q", stA.Error)
+	}
+	// The same request again: the failure was not cached, the worker
+	// survived, and this time it completes.
+	b := mustSubmit(t, s, quickRequest("retry"))
+	if stB := waitDone(t, s, b.ID); stB.State != StateDone {
+		t.Fatalf("post-panic job = %+v", stB)
+	}
+	stats := s.Stats()
+	if stats.WorkerPanics != 1 || stats.Failed != 1 || stats.Completed != 1 {
+		t.Fatalf("stats after panic = %+v", stats)
+	}
+}
+
+// TestRunHookErrorFailsJob: a hook error (the chaos delay hook's context
+// cancellation, say) fails or cancels the job without running the workload.
+func TestRunHookErrorFailsJob(t *testing.T) {
+	s := New(Config{Workers: 1, RunHook: func(ctx context.Context, key string) error {
+		return errors.New("injected pre-run failure")
+	}})
+	defer gracefulShutdown(t, s)
+	j := mustSubmit(t, s, quickRequest("hooked"))
+	st := waitDone(t, s, j.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "injected pre-run failure") {
+		t.Fatalf("hooked job = %+v", st)
+	}
+}

@@ -276,11 +276,15 @@ type JobStatus struct {
 	DeltaHit bool `json:"delta_hit,omitempty"`
 	// DirtySubjects are the job's subjects whose dependency records changed
 	// since the ancestor result this job reused was computed.
-	DirtySubjects []string   `json:"dirty_subjects,omitempty"`
-	Error         string     `json:"error,omitempty"`
-	SubmittedAt   time.Time  `json:"submitted_at"`
-	StartedAt     *time.Time `json:"started_at,omitempty"`
-	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+	DirtySubjects []string `json:"dirty_subjects,omitempty"`
+	// Recovered marks a job replayed from the crash journal at boot: a
+	// submission an earlier process accepted but never settled, re-enqueued
+	// under its original id.
+	Recovered   bool       `json:"recovered,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 }
 
 // errorBody is the JSON error envelope.

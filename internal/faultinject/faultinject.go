@@ -1,0 +1,318 @@
+// Package faultinject provides deterministic fault injection for the
+// durability stack: a filesystem seam that fails, shortens, or silently
+// corrupts the Nth write (or sync) issued through it, plus a run-closure
+// hook that injects latency into auditd's job executor. Both are driven
+// either programmatically from tests or from the `indaas serve -chaos`
+// flag via ParseSpec, so the same faults power unit tests and the
+// scripts/smoke.sh chaos leg.
+//
+// The package deliberately does not import internal/store: the store's
+// own tests inject faults through store.Options.OpenFile, and Go's
+// structural typing lets *File satisfy the store's File interface without
+// a dependency edge in either direction.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the default error returned by failing rules that do not
+// specify their own.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Op selects which file operation a Rule applies to.
+type Op uint8
+
+const (
+	// OpWrite matches WriteAt calls.
+	OpWrite Op = iota
+	// OpSync matches Sync calls.
+	OpSync
+)
+
+// Rule describes one injected fault. Operations are counted 1-based
+// across every file opened through the owning FS, so "the Nth write"
+// means the Nth write the store issues overall — deterministic for a
+// single-threaded caller like the store's append path.
+type Rule struct {
+	Op    Op
+	From  int64 // first op ordinal affected; <=0 means 1
+	Count int64 // number of ops affected; <=0 means every op from From on
+	Err   error // error to return; nil picks a default per fault shape
+
+	// Short makes a write persist only half its buffer before failing —
+	// the torn-append shape recovery must truncate.
+	Short bool
+	// Corrupt flips one bit of the buffer and reports success — silent
+	// media corruption that only checksums can catch.
+	Corrupt bool
+}
+
+// FS hands out fault-injecting files and counts the operations that flow
+// through them. The zero value is ready to use and injects nothing.
+type FS struct {
+	mu     sync.Mutex
+	writes int64
+	syncs  int64
+	rules  []Rule
+}
+
+// Add installs a rule. Rules are checked in insertion order; the first
+// match wins.
+func (fs *FS) Add(r Rule) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rules = append(fs.rules, r)
+}
+
+// FailWrites fails writes from..from+count-1 (1-based; count<=0 means
+// forever) with err, or ErrInjected when err is nil.
+func (fs *FS) FailWrites(from, count int64, err error) {
+	fs.Add(Rule{Op: OpWrite, From: from, Count: count, Err: err})
+}
+
+// ShortWrite makes the nth write persist only half its buffer and return
+// io.ErrShortWrite.
+func (fs *FS) ShortWrite(n int64) {
+	fs.Add(Rule{Op: OpWrite, From: n, Count: 1, Short: true})
+}
+
+// CorruptWrite makes the nth write flip a bit and report success.
+func (fs *FS) CorruptWrite(n int64) {
+	fs.Add(Rule{Op: OpWrite, From: n, Count: 1, Corrupt: true})
+}
+
+// FailSyncs fails syncs from..from+count-1 (1-based; count<=0 means
+// forever) with err, or ErrInjected when err is nil.
+func (fs *FS) FailSyncs(from, count int64, err error) {
+	fs.Add(Rule{Op: OpSync, From: from, Count: count, Err: err})
+}
+
+// Reset drops every rule; the operation counters keep running.
+func (fs *FS) Reset() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rules = nil
+}
+
+// Writes reports how many writes have flowed through the FS so far.
+func (fs *FS) Writes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
+
+// OpenFile opens name like os.OpenFile but returns a fault-injecting
+// handle. It matches the signature of store.Options.OpenFile up to the
+// concrete return type.
+func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (*File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, f: f}, nil
+}
+
+func (fs *FS) match(op Op) (Rule, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	switch op {
+	case OpWrite:
+		fs.writes++
+		n = fs.writes
+	case OpSync:
+		fs.syncs++
+		n = fs.syncs
+	}
+	for _, r := range fs.rules {
+		if r.Op != op {
+			continue
+		}
+		from := r.From
+		if from <= 0 {
+			from = 1
+		}
+		if n < from {
+			continue
+		}
+		if r.Count > 0 && n >= from+r.Count {
+			continue
+		}
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// File is an os.File wrapper that consults its FS before every write and
+// sync. It satisfies internal/store's File interface structurally.
+type File struct {
+	fs *FS
+	f  *os.File
+}
+
+func (f *File) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *File) Truncate(size int64) error               { return f.f.Truncate(size) }
+func (f *File) Stat() (os.FileInfo, error)              { return f.f.Stat() }
+func (f *File) Close() error                            { return f.f.Close() }
+
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	r, ok := f.fs.match(OpWrite)
+	if !ok {
+		return f.f.WriteAt(p, off)
+	}
+	switch {
+	case r.Corrupt:
+		q := make([]byte, len(p))
+		copy(q, p)
+		if len(q) > 0 {
+			q[0] ^= 0x40
+		}
+		return f.f.WriteAt(q, off)
+	case r.Short:
+		n, _ := f.f.WriteAt(p[:len(p)/2], off)
+		err := r.Err
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return n, err
+	default:
+		err := r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return 0, err
+	}
+}
+
+func (f *File) Sync() error {
+	r, ok := f.fs.match(OpSync)
+	if !ok {
+		return f.f.Sync()
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Spec is a parsed -chaos flag: filesystem faults for the store plus
+// latency for the job executor.
+type Spec struct {
+	// FS is non-nil when the spec includes filesystem faults; wire it into
+	// store.Options.OpenFile.
+	FS *FS
+	// Delay is injected before every computation via Hook.
+	Delay time.Duration
+}
+
+// ParseSpec parses a comma-separated chaos specification:
+//
+//	delay=DUR         sleep DUR before every computation
+//	enospc=N[:K]      writes N..N+K-1 fail with ENOSPC (K defaults to 1)
+//	failwrite=N[:K]   writes N..N+K-1 fail with a generic injected error
+//	shortwrite=N      write N persists half its buffer and fails
+//	corrupt=N         write N flips a bit and reports success
+//	syncfail=N[:K]    syncs N..N+K-1 fail
+//
+// An empty spec yields an empty *Spec (no faults).
+func ParseSpec(spec string) (*Spec, error) {
+	sp := &Spec{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, arg, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q: want name=value", clause)
+		}
+		switch name {
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: delay %q: %v", arg, err)
+			}
+			sp.Delay = d
+		case "enospc", "failwrite", "syncfail":
+			from, count, err := parseWindow(arg)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %s %q: %v", name, arg, err)
+			}
+			switch name {
+			case "enospc":
+				sp.fs().FailWrites(from, count, syscall.ENOSPC)
+			case "failwrite":
+				sp.fs().FailWrites(from, count, nil)
+			case "syncfail":
+				sp.fs().FailSyncs(from, count, nil)
+			}
+		case "shortwrite", "corrupt":
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: %s %q: want positive integer", name, arg)
+			}
+			if name == "shortwrite" {
+				sp.fs().ShortWrite(n)
+			} else {
+				sp.fs().CorruptWrite(n)
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: unknown clause %q", name)
+		}
+	}
+	return sp, nil
+}
+
+func (sp *Spec) fs() *FS {
+	if sp.FS == nil {
+		sp.FS = &FS{}
+	}
+	return sp.FS
+}
+
+// parseWindow parses "N" or "N:K" into a 1-based (from, count) window.
+func parseWindow(arg string) (from, count int64, err error) {
+	fromStr, countStr, ok := strings.Cut(arg, ":")
+	from, err = strconv.ParseInt(fromStr, 10, 64)
+	if err != nil || from < 1 {
+		return 0, 0, errors.New("want N or N:K with positive N")
+	}
+	count = 1
+	if ok {
+		count, err = strconv.ParseInt(countStr, 10, 64)
+		if err != nil || count < 1 {
+			return 0, 0, errors.New("want N or N:K with positive K")
+		}
+	}
+	return from, count, nil
+}
+
+// Hook returns a run-closure hook injecting the spec's latency, or nil
+// when the spec carries none. The sleep honors ctx so canceled jobs do
+// not pin workers.
+func (sp *Spec) Hook() func(ctx context.Context, key string) error {
+	if sp == nil || sp.Delay <= 0 {
+		return nil
+	}
+	d := sp.Delay
+	return func(ctx context.Context, key string) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, fs *FS) *File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFailNthWrite(t *testing.T) {
+	fs := &FS{}
+	fs.FailWrites(2, 1, syscall.ENOSPC)
+	f := openTemp(t, fs)
+
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2: err = %v, want ENOSPC", err)
+	}
+	if _, err := f.WriteAt([]byte("three"), 3); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if got := fs.Writes(); got != 3 {
+		t.Fatalf("writes = %d, want 3", got)
+	}
+}
+
+func TestUnboundedWindowAndReset(t *testing.T) {
+	fs := &FS{}
+	fs.FailWrites(1, 0, nil) // every write fails until Reset
+	f := openTemp(t, fs)
+	for i := 0; i < 3; i++ {
+		if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: err = %v, want ErrInjected", i+1, err)
+		}
+	}
+	fs.Reset()
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("post-reset write: %v", err)
+	}
+}
+
+func TestShortWritePersistsHalf(t *testing.T) {
+	fs := &FS{}
+	fs.ShortWrite(1)
+	f := openTemp(t, fs)
+	n, err := f.WriteAt([]byte("abcdefgh"), 0)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	buf := make([]byte, 8)
+	if rn, _ := f.ReadAt(buf, 0); rn != 4 || string(buf[:rn]) != "abcd" {
+		t.Fatalf("file holds %q (%d bytes), want half the buffer", buf[:rn], rn)
+	}
+}
+
+func TestCorruptWriteSilentlySucceeds(t *testing.T) {
+	fs := &FS{}
+	fs.CorruptWrite(1)
+	f := openTemp(t, fs)
+	if _, err := f.WriteAt([]byte{0x00, 0x11}, 0); err != nil {
+		t.Fatalf("corrupt write reported failure: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] == 0x00 || buf[1] != 0x11 {
+		t.Fatalf("file holds %x, want first byte flipped only", buf)
+	}
+}
+
+func TestFailSync(t *testing.T) {
+	fs := &FS{}
+	fs.FailSyncs(1, 1, nil)
+	f := openTemp(t, fs)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: err = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("delay=250ms, enospc=2:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Delay != 250*time.Millisecond {
+		t.Fatalf("delay = %v", sp.Delay)
+	}
+	if sp.FS == nil {
+		t.Fatal("spec with enospc clause has no FS")
+	}
+	f := openTemp(t, sp.FS)
+	f.WriteAt([]byte("x"), 0)
+	for i := 0; i < 3; i++ {
+		if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d: err = %v, want ENOSPC", i+2, err)
+		}
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("write 5: %v", err)
+	}
+
+	if sp, err := ParseSpec(""); err != nil || sp.FS != nil || sp.Delay != 0 {
+		t.Fatalf("empty spec = %+v, %v", sp, err)
+	}
+	for _, bad := range []string{"nope=1", "delay=xyz", "enospc=0", "enospc=1:0", "corrupt=-2", "enospc"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHookDelayHonorsContext(t *testing.T) {
+	sp := &Spec{Delay: time.Hour}
+	hook := sp.Hook()
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	if err := hook(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	sp = &Spec{Delay: time.Millisecond}
+	if err := sp.Hook()(context.Background(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if (&Spec{}).Hook() != nil {
+		t.Fatal("zero spec returned a hook")
+	}
+}

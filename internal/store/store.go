@@ -48,6 +48,10 @@ const (
 	KindSnapshot Kind = 2
 	// KindMeta is small store metadata (e.g. the current-snapshot pointer).
 	KindMeta Kind = 3
+	// KindJob is a journaled in-flight job: written when auditd accepts a
+	// submission, tombstoned when the job settles, and replayed at boot to
+	// re-enqueue work a crash interrupted. Exempt from result eviction.
+	KindJob Kind = 4
 	// kindTombstone marks a deletion; never surfaced to callers.
 	kindTombstone Kind = 0xFF
 )
@@ -60,6 +64,8 @@ func (k Kind) String() string {
 		return "snapshot"
 	case KindMeta:
 		return "meta"
+	case KindJob:
+		return "job"
 	case kindTombstone:
 		return "tombstone"
 	default:
@@ -106,6 +112,23 @@ type Options struct {
 	// time.Now. Tests (and the daemon GC-ticker tests in auditd) inject a
 	// fake clock here to exercise MaxAge eviction without real waiting.
 	Now func() time.Time
+
+	// OpenFile overrides how segment files (compaction temp files included)
+	// are opened; nil means os.OpenFile. This is the fault-injection seam:
+	// internal/faultinject supplies implementations that fail, shorten, or
+	// corrupt chosen writes. Only tests and chaos drills should set it.
+	OpenFile func(name string, flag int, perm os.FileMode) (File, error)
+}
+
+// File is the store's view of a segment file; *os.File satisfies it, and
+// Options.OpenFile may substitute a fault-injecting implementation.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Close() error
 }
 
 // RecoveryStats reports what Open found while replaying the segment.
@@ -118,6 +141,12 @@ type RecoveryStats struct {
 	// TruncatedBytes is the size of the torn tail dropped (0 for a clean
 	// log).
 	TruncatedBytes int64
+	// QuarantinedBytes is the total size of mid-segment corrupt ranges that
+	// recovery skipped after resyncing to a later valid record. Quarantined
+	// bytes stay in the file as dead space until compaction rewrites it.
+	QuarantinedBytes int64
+	// QuarantinedRanges counts the skipped corrupt ranges.
+	QuarantinedRanges int
 }
 
 // Stats is a point-in-time snapshot of the store counters.
@@ -154,11 +183,12 @@ type entry struct {
 // Store is the on-disk store. Safe for concurrent use by one process; do not
 // open the same directory from two processes at once.
 type Store struct {
-	opts Options
-	path string
+	opts     Options
+	path     string
+	openFile func(name string, flag int, perm os.FileMode) (File, error)
 
 	mu          sync.Mutex
-	f           *os.File
+	f           File
 	size        int64 // current segment size (append offset)
 	index       map[string]entry
 	order       []string // keys in append order (may contain dead keys)
@@ -195,10 +225,16 @@ func Open(opts Options) (*Store, error) {
 		path:  filepath.Join(opts.Dir, segmentName),
 		index: make(map[string]entry),
 	}
+	s.openFile = opts.OpenFile
+	if s.openFile == nil {
+		s.openFile = func(name string, flag int, perm os.FileMode) (File, error) {
+			return os.OpenFile(name, flag, perm)
+		}
+	}
 	// A crash between compaction's fsync and rename leaves a stale temp
 	// segment; it holds nothing the real segment doesn't, so drop it.
 	os.Remove(s.path + ".tmp")
-	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := s.openFile(s.path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -210,8 +246,12 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
-// recover replays the segment, building the index and truncating any torn
-// tail in place so later appends continue from a verified prefix.
+// recover replays the segment, building the index. A corrupt record is
+// handled by where it sits: mid-segment corruption (bad media, a torn
+// write later overwritten partially) is quarantined — recovery resyncs to
+// the next checksummed record and keeps everything after it — while
+// corruption with no valid record behind it is the classic torn tail and
+// is truncated in place so later appends continue from a verified prefix.
 func (s *Store) recover() error {
 	fi, err := s.f.Stat()
 	if err != nil {
@@ -232,33 +272,33 @@ func (s *Store) recover() error {
 		return fmt.Errorf("store: %s is not an indaas store segment", s.path)
 	}
 
-	r := io.NewSectionReader(s.f, 0, size)
-	if _, err := r.Seek(int64(len(fileMagic)), io.SeekStart); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	br := newByteCounter(r, int64(len(fileMagic)))
-	for {
-		off := br.offset
-		rec, key, _, err := readRecord(br, size-off)
-		if err == io.EOF {
-			s.size = off
-			break
-		}
+	off := int64(len(fileMagic))
+	for off < size {
+		rec, key, _, err := readRecordAt(s.f, off, size)
 		if err != nil {
-			// Torn or corrupt tail: drop it and everything after it. The
-			// bytes before off were fully verified.
-			s.recovery.TruncatedBytes = size - off
-			s.size = off
-			break
+			next := nextValidRecord(s.f, off+1, size)
+			if next < 0 {
+				// No intact record follows: torn tail, drop it. The bytes
+				// before off were fully verified.
+				s.recovery.TruncatedBytes = size - off
+				break
+			}
+			// An intact record follows: quarantine the corrupt range as
+			// dead bytes and carry on, so one bad record cannot take the
+			// rest of the segment down with it.
+			s.recovery.QuarantinedBytes += next - off
+			s.recovery.QuarantinedRanges++
+			s.deadBytes += next - off
+			off = next
+			continue
 		}
 		s.recovery.RecordsScanned++
 		s.applyReplayed(string(key), entry{
 			off: off, recLen: rec.recLen, valLen: int(rec.valLen), kind: rec.kind, unix: rec.unix,
 		})
+		off += rec.recLen
 	}
-	if s.size < int64(len(fileMagic)) {
-		s.size = int64(len(fileMagic))
-	}
+	s.size = off
 	if s.recovery.TruncatedBytes > 0 {
 		if err := s.f.Truncate(s.size); err != nil {
 			return fmt.Errorf("store: truncating torn tail: %w", err)
@@ -323,23 +363,26 @@ type recordHeader struct {
 	recLen int64
 }
 
-// byteCounter tracks the absolute segment offset while reading sequentially.
-type byteCounter struct {
-	r      io.Reader
-	offset int64
-}
-
-func newByteCounter(r io.Reader, off int64) *byteCounter {
-	return &byteCounter{r: r, offset: off}
-}
-
-func (b *byteCounter) Read(p []byte) (int, error) {
-	n, err := b.r.Read(p)
-	b.offset += int64(n)
-	return n, err
-}
-
 var errCorrupt = errors.New("store: corrupt record")
+
+// readRecordAt reads and verifies the record starting at off in a segment
+// of the given size.
+func readRecordAt(f io.ReaderAt, off, size int64) (recordHeader, []byte, []byte, error) {
+	return readRecord(io.NewSectionReader(f, off, size-off), size-off)
+}
+
+// nextValidRecord scans forward from start for the next offset at which a
+// fully checksummed record begins, or -1 when none follows. Candidates are
+// cheap to reject: almost every misaligned offset fails the kind/length
+// sanity checks after a header-sized read, long before the CRC runs.
+func nextValidRecord(f io.ReaderAt, start, size int64) int64 {
+	for off := start; off+headerSize <= size; off++ {
+		if _, _, _, err := readRecordAt(f, off, size); err == nil {
+			return off
+		}
+	}
+	return -1
+}
 
 // readRecord reads and verifies one record. io.EOF means a clean end of
 // segment; any other error means the remaining bytes are torn or corrupt.
@@ -363,7 +406,7 @@ func readRecord(r io.Reader, remaining int64) (recordHeader, []byte, []byte, err
 	h.keyLen = int(binary.BigEndian.Uint16(hdr[13:15]))
 	h.valLen = binary.BigEndian.Uint32(hdr[15:19])
 	switch h.kind {
-	case KindResult, KindSnapshot, KindMeta, kindTombstone:
+	case KindResult, KindSnapshot, KindMeta, KindJob, kindTombstone:
 	default:
 		return h, nil, nil, errCorrupt
 	}
@@ -410,7 +453,7 @@ func (s *Store) Put(key string, kind Kind, val []byte) ([]string, error) {
 	if int64(len(val)) > maxValLen {
 		return nil, fmt.Errorf("store: value of %d bytes exceeds the %d-byte cap", len(val), maxValLen)
 	}
-	if kind != KindResult && kind != KindSnapshot && kind != KindMeta {
+	if kind != KindResult && kind != KindSnapshot && kind != KindMeta && kind != KindJob {
 		return nil, fmt.Errorf("store: cannot put entries of kind %s", kind)
 	}
 	s.mu.Lock()
@@ -656,13 +699,13 @@ func (s *Store) maybeCompactLocked() error {
 // new complete segment.
 func (s *Store) compactLocked() error {
 	tmpPath := s.path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.openFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	defer os.Remove(tmpPath) // no-op after the rename succeeds
 
-	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+	if _, err := tmp.WriteAt([]byte(fileMagic), 0); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: compact: %w", err)
 	}
@@ -689,7 +732,7 @@ func (s *Store) compactLocked() error {
 			return fmt.Errorf("store: compact: entry %q: %w", key, err)
 		}
 		rec := encodeRecord(e.kind, e.unix, key, val)
-		if _, err := tmp.Write(rec); err != nil {
+		if _, err := tmp.WriteAt(rec, off); err != nil {
 			tmp.Close()
 			return fmt.Errorf("store: compact: %w", err)
 		}
@@ -715,7 +758,7 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	syncDir(s.opts.Dir)
-	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	f, err := s.openFile(s.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: reopening segment: %w", err)
 	}
@@ -753,9 +796,15 @@ type VerifyResult struct {
 	// TornBytes is the size of an unverifiable tail, 0 when the whole
 	// segment checks out.
 	TornBytes int64
+	// QuarantinedBytes is the size of mid-segment corrupt ranges a recovery
+	// would skip (dead space until compaction); the records around them are
+	// intact.
+	QuarantinedBytes int64
 }
 
-// OK reports whether the scan verified the entire segment.
+// OK reports whether the scan verified the entire segment. Quarantined
+// ranges do not fail verification: they are already-detected dead space
+// that recovery routes around.
 func (v VerifyResult) OK() bool { return v.TornBytes == 0 }
 
 // Verify re-reads the whole segment from disk, checking every record's
@@ -793,29 +842,30 @@ func VerifyDir(dir string) (VerifyResult, error) {
 // replaying live entries; it never writes.
 func scanSegment(f io.ReaderAt, size int64) VerifyResult {
 	var out VerifyResult
-	r := io.NewSectionReader(f, 0, size)
 	magic := make([]byte, len(fileMagic))
 	if size < int64(len(fileMagic)) {
 		out.TornBytes = size
 		return out
 	}
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != fileMagic {
+	if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != fileMagic {
 		out.TornBytes = size
 		return out
 	}
-	br := newByteCounter(r, int64(len(fileMagic)))
 	live := make(map[string]bool)
-	for {
-		off := br.offset
-		rec, key, _, err := readRecord(br, size-off)
-		if err == io.EOF {
-			out.Bytes = off
-			break
-		}
+	off := int64(len(fileMagic))
+	for off < size {
+		rec, key, _, err := readRecordAt(f, off, size)
 		if err != nil {
-			out.Bytes = off
-			out.TornBytes = size - off
-			break
+			// Mirror recovery: resync past mid-segment corruption, report a
+			// torn tail only when no intact record follows.
+			next := nextValidRecord(f, off+1, size)
+			if next < 0 {
+				out.TornBytes = size - off
+				break
+			}
+			out.QuarantinedBytes += next - off
+			off = next
+			continue
 		}
 		out.Records++
 		if rec.kind == kindTombstone {
@@ -823,7 +873,9 @@ func scanSegment(f io.ReaderAt, size int64) VerifyResult {
 		} else {
 			live[string(key)] = true
 		}
+		off += rec.recLen
 	}
+	out.Bytes = off
 	out.Entries = len(live)
 	return out
 }

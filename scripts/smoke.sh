@@ -14,6 +14,14 @@
 #       (no recomputation, store-hit metric increments) and the ingested
 #       fingerprint survived.
 #
+#   ./scripts/smoke.sh chaos      survivability legs: (A) kill -9 the daemon
+#       while a job is mid-computation (-chaos delay holds the worker) and
+#       assert the restarted daemon re-enqueues it from the journal, finishes
+#       it under the same id, and produces the golden report; (B) inject
+#       ENOSPC into store writes and assert the daemon trips into degraded
+#       memory-only serving (healthz reports it), keeps answering audits, and
+#       restores durable mode once writes succeed again.
+#
 # The daemon is always reaped on exit — success, failure, or signal — and
 # every HTTP call carries a timeout, so a hung leg fails fast with the
 # server log tail instead of leaving an orphan process. Requires curl + jq.
@@ -209,4 +217,66 @@ if [ "$MODE" = restart ]; then
     exit 0
 fi
 
-die "unknown mode $MODE (want base or restart)"
+if [ "$MODE" = chaos ]; then
+    # Leg A: kill -9 mid-job. The 3s delay hook parks the worker inside the
+    # computation, guaranteeing the kill lands after the job is journaled but
+    # before it completes.
+    DATA="$TMP/data"
+    start_daemon -data-dir "$DATA" -chaos delay=3s
+    ID=$(submit v1/audits @scripts/smoke_request.json)
+    stop_daemon -KILL
+
+    # The restarted daemon (no chaos) must recover the journaled job under
+    # its original id and finish it: same golden report as a clean run.
+    start_daemon -data-dir "$DATA"
+    wait_done "$ID" recovered-audit
+    ST=$("${CURL[@]}" "$BASE/v1/audits/$ID")
+    [ "$(jq -r .recovered <<<"$ST")" = true ] || die "finished job was not flagged recovered: $ST"
+    "${CURL[@]}" "$BASE/v1/audits/$ID/report" > "$TMP/report-recovered.json"
+    diff <(jq -S '.audits[].elapsed_ns = 0' "$TMP/report-recovered.json") <(jq -S . "$GOLDEN")
+    [ "$(metric auditd_jobs_recovered_total)" = 1 ] || die "auditd_jobs_recovered_total did not increment"
+    stop_daemon
+    "$TMP/indaas" store verify -data-dir "$DATA" >/dev/null || die "store verify failed after crash recovery"
+
+    # Leg B: ENOSPC. Write 1 is the new segment's magic; the first audit's
+    # journal (write 2) and result (write 3) both fail, tripping the breaker
+    # at the threshold of 2.
+    DATA2="$TMP/data2"
+    start_daemon -data-dir "$DATA2" -chaos enospc=2:2 \
+        -store-failure-threshold 2 -store-retry-interval 2s
+    ID=$(submit v1/audits @scripts/smoke_request.json)
+    wait_done "$ID" enospc-audit
+    for _ in $(seq 50); do
+        [ "$(metric auditd_degraded)" = 1 ] && break
+        sleep 0.1
+    done
+    HEALTH=$("${CURL[@]}" "$BASE/healthz")
+    [ "$(jq -r .status <<<"$HEALTH")" = degraded ] || die "healthz not degraded after ENOSPC: $HEALTH"
+    [ "$(jq -r .durable <<<"$HEALTH")" = false ] || die "degraded healthz still claims durable: $HEALTH"
+    [ "$(jq -r '.store_errors >= 2' <<<"$HEALTH")" = true ] || die "store_errors missing from healthz: $HEALTH"
+
+    # A degraded daemon keeps serving: a distinct audit completes in memory.
+    ID2=$(submit v1/audits "$(jq -c '.deployments[0].name = "degraded-alt"' scripts/smoke_request.json)")
+    wait_done "$ID2" degraded-audit
+    [ "$(metric auditd_store_breaker_trips_total)" = 1 ] || die "breaker trip metric did not increment"
+
+    # After the retry interval the next write probes the (now fault-free)
+    # store and restores durable mode.
+    sleep 2.5
+    ID3=$(submit v1/audits "$(jq -c '.deployments[0].name = "probe-alt"' scripts/smoke_request.json)")
+    wait_done "$ID3" probe-audit
+    for _ in $(seq 50); do
+        [ "$(metric auditd_degraded)" = 0 ] && break
+        sleep 0.1
+    done
+    HEALTH=$("${CURL[@]}" "$BASE/healthz")
+    [ "$(jq -r .status <<<"$HEALTH")" = ok ] || die "healthz still degraded after probe: $HEALTH"
+    [ "$(jq -r .durable <<<"$HEALTH")" = true ] || die "durable mode not restored: $HEALTH"
+    stop_daemon
+    "$TMP/indaas" store verify -data-dir "$DATA2" >/dev/null || die "store verify failed after degraded run"
+
+    echo "smoke OK: journaled job survived kill -9 with a golden report; ENOSPC degraded to memory-only and recovered to durable"
+    exit 0
+fi
+
+die "unknown mode $MODE (want base, restart or chaos)"
