@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"indaas/internal/agentsim"
+	"indaas/internal/auditd"
+	"indaas/internal/deps"
+)
+
+// cmdLoadgen replays a simulated agent fleet's dependency churn against a
+// running audit service: bootstrap every server's acquisition modules into
+// POST /v1/depdb, then push NIC flaps, rolling software upgrades and flow
+// re-observations at the target record rate while a watch probe measures
+// ingest→notification latency over GET /v1/watch. The run summary proves
+// (via auditd_delta_* counters) how much of the triggered re-auditing
+// stayed incremental.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:7080", "audit service base URL")
+	k := fs.Int("k", 8, "fat-tree arity; the fleet simulates k³/4 servers")
+	seed := fs.Int64("seed", 1, "fleet and churn seed")
+	rate := fs.Float64("rate", 10000, "target admitted records/second")
+	duration := fs.Duration("duration", 10*time.Second, "churn duration")
+	concurrency := fs.Int("concurrency", 64, "in-flight ingest pushes")
+	batch := fs.Int("batch", 64, "records per push: each agent ships its observation window in one request (0 = one churn event per push)")
+	flows := fs.Int("flows", 32, "bootstrap Internet flows observed per server")
+	probeEvery := fs.Duration("probe-interval", 200*time.Millisecond, "watch probe period (0 disables the probe)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fleet, err := agentsim.New(agentsim.Config{K: *k, Seed: *seed, FlowsPerServer: *flows})
+	if err != nil {
+		return err
+	}
+	cl := auditd.NewClient(*server, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Bootstrap: mass acquisition, batched for throughput.
+	batches, err := fleet.Bootstrap()
+	if err != nil {
+		return err
+	}
+	var boot []auditd.RecordWire
+	total := 0
+	flush := func() error {
+		if len(boot) == 0 {
+			return nil
+		}
+		if _, err := cl.Ingest(ctx, boot); err != nil {
+			return fmt.Errorf("bootstrap ingest: %w", err)
+		}
+		total += len(boot)
+		boot = boot[:0]
+		return nil
+	}
+	for _, b := range batches {
+		boot = append(boot, auditd.WireRecords(b)...)
+		if len(boot) >= 4096 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: fleet of %d servers bootstrapped (%d records)\n", fleet.Size(), total)
+
+	// The watch probe owns the first four servers (churn never touches
+	// them): it subscribes to two alternative deployments, then repeatedly
+	// flaps a watched NIC and times ingest ack → report notification.
+	servers := fleet.Servers()
+	if len(servers) < 5 {
+		return fmt.Errorf("loadgen needs a fleet of at least 5 servers; got %d (raise -k)", len(servers))
+	}
+	probeServers := servers[:4]
+	var (
+		probeLats    []time.Duration
+		probeEvents  int
+		probeFailed  int
+		probeLastErr string
+		probeErr     error
+		probeDone    = make(chan struct{})
+	)
+	if *probeEvery > 0 {
+		w, err := cl.Watch(ctx, &auditd.SubmitRequest{
+			Title: "loadgen watch probe",
+			Deployments: []auditd.DeploymentWire{
+				{Name: "primary", Servers: []string{probeServers[0], probeServers[1]}},
+				{Name: "secondary", Servers: []string{probeServers[2], probeServers[3]}},
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("watch subscribe: %w", err)
+		}
+		defer w.Close()
+		if _, err := w.Next(); err != nil {
+			return fmt.Errorf("initial watch report: %w", err)
+		}
+		node := fleet.Node(probeServers[0])
+		go func() {
+			defer close(probeDone)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(*probeEvery):
+				}
+				t0 := time.Now()
+				rec := []deps.Record{node.FlapNIC()}
+				if _, err := cl.Ingest(ctx, auditd.WireRecords(rec)); err != nil {
+					if ctx.Err() == nil {
+						probeErr = err
+					}
+					return
+				}
+				ev, err := w.Next()
+				if err != nil {
+					if ctx.Err() == nil {
+						probeErr = err
+					}
+					return
+				}
+				probeEvents++
+				if ev.Error != "" {
+					probeFailed++
+					probeLastErr = ev.Error
+					continue
+				}
+				probeLats = append(probeLats, time.Since(t0))
+			}
+		}()
+	} else {
+		close(probeDone)
+	}
+
+	push := agentsim.PusherFunc(func(ctx context.Context, records []deps.Record) error {
+		_, err := cl.Ingest(ctx, auditd.WireRecords(records))
+		return err
+	})
+	stats, err := fleet.Run(ctx, push, agentsim.RunConfig{
+		Rate:         *rate,
+		Duration:     *duration,
+		Concurrency:  *concurrency,
+		BatchRecords: *batch,
+		Seed:         *seed,
+		Exclude:      probeServers,
+	})
+	if err != nil {
+		return fmt.Errorf("churn run: %w", err)
+	}
+	cancel()
+	<-probeDone
+
+	fmt.Printf("loadgen: sustained %.0f records/sec for %v (%d batches, %d records, %d errors)\n",
+		stats.RecordsPerSec(), stats.Elapsed.Round(time.Millisecond), stats.Batches, stats.Records, stats.Errors)
+	fmt.Printf("loadgen: ingest push latency p50=%v p99=%v\n",
+		stats.PushP50.Round(10*time.Microsecond), stats.PushP99.Round(10*time.Microsecond))
+	if *probeEvery > 0 {
+		if probeErr != nil {
+			return fmt.Errorf("watch probe: %w", probeErr)
+		}
+		p50, p99 := agentsim.Percentiles(probeLats)
+		fmt.Printf("loadgen: watch notifications %d (%d failed re-audits), ingest→notify over %d samples p50=%v p99=%v\n",
+			probeEvents, probeFailed, len(probeLats), p50.Round(10*time.Microsecond), p99.Round(10*time.Microsecond))
+		if probeLastErr != "" {
+			fmt.Printf("loadgen: last failed re-audit: %s\n", probeLastErr)
+		}
+	}
+
+	// Pull the daemon's view: how much re-auditing the churn triggered, and
+	// how much of it the delta engine kept incremental.
+	raw, err := cl.Metrics(context.Background())
+	if err != nil {
+		return fmt.Errorf("fetching metrics: %w", err)
+	}
+	m := parseMetrics(raw)
+	hits, partial := m["auditd_delta_hits_total"], m["auditd_delta_partial_total"]
+	comps := m["auditd_computations_total"]
+	fmt.Printf("loadgen: daemon ingested=%.0f groups=%.0f throttled=%.0f computations=%.0f delta_hits=%.0f delta_partial=%.0f\n",
+		m["auditd_depdb_ingested_records_total"], m["auditd_depdb_commit_groups_total"],
+		m["auditd_depdb_throttled_total"], comps, hits, partial)
+	if re := m["auditd_watch_reaudits_total"]; re > 0 {
+		fmt.Printf("loadgen: incremental re-audits %.0f/%.0f (%.0f%%)\n",
+			hits+partial, re, 100*(hits+partial)/re)
+	}
+
+	if stats.Records == 0 {
+		return fmt.Errorf("no records were admitted")
+	}
+	if *probeEvery > 0 && probeEvents == 0 {
+		return fmt.Errorf("the watch probe never received a re-audit notification")
+	}
+	return nil
+}
+
+// parseMetrics pulls the numeric value of every plain (unlabelled) sample
+// from Prometheus text exposition.
+func parseMetrics(raw string) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out
+}

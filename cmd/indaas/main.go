@@ -38,6 +38,12 @@
 //	    Search "choose r of n" deployments for the most independent replica
 //	    placements (see internal/placement); -server pushes the search to a
 //	    running audit service's /v1/recommend endpoint instead.
+//
+//	indaas loadgen -server http://127.0.0.1:7080 -rate 10000 -duration 10s
+//	    Replay a simulated agent fleet's dependency churn against a running
+//	    audit service and measure sustained ingest throughput, watch
+//	    notification latency, and how much re-auditing stayed incremental
+//	    (see internal/agentsim).
 package main
 
 import (
@@ -81,6 +87,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -96,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend|store> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend|store|loadgen> [flags]
 run "indaas <subcommand> -h" for the subcommand's flags`)
 }
 

@@ -38,6 +38,9 @@ func cmdServe(args []string) error {
 	storeFailThreshold := fs.Int("store-failure-threshold", 0, "consecutive store write failures before degrading to memory-only serving (0 = default 3)")
 	storeRetryInterval := fs.Duration("store-retry-interval", 0, "how often a degraded daemon probes the store to restore durable mode (0 = default 15s)")
 	chaosSpec := fs.String("chaos", "", "fault injection spec for resilience testing, e.g. 'delay=3s,enospc=2:2' (see internal/faultinject)")
+	ingestRate := fs.Float64("ingest-rate", 0, "admission cap on /v1/depdb in records/second; excess ingests get 429 + Retry-After (0 = unlimited)")
+	ingestBurst := fs.Float64("ingest-burst", 0, "ingest token bucket depth in records (0 = one second of -ingest-rate)")
+	watchBuffer := fs.Int("watch-buffer", 0, "per-subscriber watch event queue; overflowing subscribers are evicted (0 = default 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +105,9 @@ func cmdServe(args []string) error {
 		StoreFailureThreshold: *storeFailThreshold,
 		StoreRetryInterval:    *storeRetryInterval,
 		RunHook:               chaos.Hook(),
+		IngestRate:            *ingestRate,
+		IngestBurst:           *ingestBurst,
+		WatchBuffer:           *watchBuffer,
 	})
 	// Without the ticker, size/age eviction only runs inside store writes,
 	// so an idle daemon would never enforce -store-max-age.

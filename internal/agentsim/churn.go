@@ -1,0 +1,251 @@
+package agentsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indaas/internal/deps"
+)
+
+// Batch is one churn observation push: the records a single agent event
+// produced, tagged with its cause.
+type Batch struct {
+	Server  string
+	Event   string // "nic-flap", "sw-upgrade" or "netflow"
+	Records []deps.Record
+}
+
+// Churn replays the fleet's continuous small changes: mostly NIC flaps and
+// rolling software upgrades, with occasional flow re-observations. The
+// sequence is deterministic in the seed.
+type Churn struct {
+	f       *Fleet
+	rng     *rand.Rand
+	exclude map[string]bool
+	upgrade struct {
+		cursor int // next node in the rolling wave
+		ver    int // monotonically bumped patch level
+	}
+}
+
+// ChurnStream starts a churn sequence. Servers in exclude are never touched
+// — reserve the servers a latency probe watches so its triggers stay
+// attributable. It is an error to exclude the whole fleet.
+func (f *Fleet) ChurnStream(seed int64, exclude ...string) (*Churn, error) {
+	ex := make(map[string]bool, len(exclude))
+	for _, s := range exclude {
+		if f.bydns[s] == nil {
+			return nil, fmt.Errorf("agentsim: cannot exclude unknown server %q", s)
+		}
+		ex[s] = true
+	}
+	if len(ex) >= len(f.nodes) {
+		return nil, fmt.Errorf("agentsim: churn excludes all %d servers", len(f.nodes))
+	}
+	return &Churn{f: f, rng: rand.New(rand.NewSource(seed)), exclude: ex}, nil
+}
+
+// Next produces the next churn batch. NIC flaps dominate (single-record
+// batches), rolling upgrades sweep the fleet node by node, and flow
+// re-observations contribute the occasional wide batch.
+func (c *Churn) Next() (Batch, error) {
+	switch p := c.rng.Intn(10); {
+	case p < 5: // 50%: a NIC flap on a random node
+		n := c.f.pickNode(c.rng, c.exclude)
+		return Batch{Server: n.Server, Event: "nic-flap", Records: []deps.Record{n.FlapNIC()}}, nil
+	case p < 9: // 40%: the rolling upgrade wave reaches the next node
+		n, ver := c.nextUpgrade()
+		rec, err := n.Upgrade("openssl", ver)
+		if err != nil {
+			return Batch{}, err
+		}
+		return Batch{Server: n.Server, Event: "sw-upgrade", Records: []deps.Record{rec}}, nil
+	default: // 10%: a node re-observes its flows in a new capture window
+		n := c.f.pickNode(c.rng, c.exclude)
+		recs, err := n.Reobserve(c.f.cfg.FlowsPerServer + c.rng.Intn(17) - 8)
+		if err != nil {
+			return Batch{}, err
+		}
+		return Batch{Server: n.Server, Event: "netflow", Records: recs}, nil
+	}
+}
+
+// nextUpgrade advances the rolling wave: nodes upgrade in topology order,
+// and when the wave wraps the fleet the patch level bumps.
+func (c *Churn) nextUpgrade() (*Node, string) {
+	for {
+		if c.upgrade.cursor == 0 {
+			c.upgrade.ver++
+		}
+		n := c.f.nodes[c.upgrade.cursor]
+		c.upgrade.cursor = (c.upgrade.cursor + 1) % len(c.f.nodes)
+		if !c.exclude[n.Server] {
+			return n, fmt.Sprintf("1.0.%d", c.upgrade.ver)
+		}
+	}
+}
+
+// Pusher accepts observation batches — in production auditd.Client.Ingest
+// behind Retry, in tests anything that counts.
+type Pusher interface {
+	Push(ctx context.Context, records []deps.Record) error
+}
+
+// PusherFunc adapts a function to the Pusher interface.
+type PusherFunc func(ctx context.Context, records []deps.Record) error
+
+// Push implements Pusher.
+func (f PusherFunc) Push(ctx context.Context, records []deps.Record) error { return f(ctx, records) }
+
+// RunConfig paces a churn run.
+type RunConfig struct {
+	// Rate is the target admitted records/second (required).
+	Rate float64
+	// Duration bounds the run (required).
+	Duration time.Duration
+	// Concurrency is the number of in-flight pushes (default 32): enough
+	// parallelism that the daemon's group commit can amortize fsyncs.
+	Concurrency int
+	// BatchRecords coalesces consecutive churn events into pushes of at
+	// least this many records — an agent shipping its observation window in
+	// one request rather than one request per event. 0 = one event per
+	// push.
+	BatchRecords int
+	// Seed drives the churn sequence (default the fleet seed).
+	Seed int64
+	// Exclude lists servers churn must not touch.
+	Exclude []string
+}
+
+// RunStats summarizes a churn run.
+type RunStats struct {
+	Batches int64         // pushes attempted
+	Records int64         // records successfully admitted
+	Errors  int64         // pushes that failed after retries
+	Elapsed time.Duration // wall clock of the run
+	// Push latency distribution over successful pushes (client-observed:
+	// includes any 429 self-pacing the Pusher performs).
+	PushP50, PushP99 time.Duration
+}
+
+// RecordsPerSec is the achieved admission rate.
+func (s RunStats) RecordsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Records) / s.Elapsed.Seconds()
+}
+
+// Run replays churn against p at the target rate: a feeder thread draws
+// batches from the churn stream and releases them on a records/second
+// schedule; Concurrency workers push them. Returns when Duration elapses,
+// ctx is done, or churn generation fails.
+func (f *Fleet) Run(ctx context.Context, p Pusher, rc RunConfig) (RunStats, error) {
+	if rc.Rate <= 0 || rc.Duration <= 0 {
+		return RunStats{}, fmt.Errorf("agentsim: run needs positive Rate and Duration")
+	}
+	if rc.Concurrency <= 0 {
+		rc.Concurrency = 32
+	}
+	seed := rc.Seed
+	if seed == 0 {
+		seed = f.cfg.Seed
+	}
+	churn, err := f.ChurnStream(seed, rc.Exclude...)
+	if err != nil {
+		return RunStats{}, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, rc.Duration)
+	defer cancel()
+	start := time.Now()
+
+	var (
+		stats   RunStats
+		mu      sync.Mutex
+		lats    []time.Duration
+		pending = make(chan Batch, rc.Concurrency)
+		wg      sync.WaitGroup
+		genErr  error
+	)
+	for i := 0; i < rc.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range pending {
+				t0 := time.Now()
+				err := p.Push(ctx, b.Records)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // the run ended mid-push; not a pusher failure
+					}
+					atomic.AddInt64(&stats.Errors, 1)
+					continue
+				}
+				atomic.AddInt64(&stats.Records, int64(len(b.Records)))
+				mu.Lock()
+				lats = append(lats, time.Since(t0))
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// The feeder schedules each batch by the cumulative record count: batch
+	// n may go once n/Rate seconds have passed, which holds the admitted
+	// record rate at Rate regardless of batch sizes.
+	var sent int64
+feed:
+	for {
+		b, err := churn.Next()
+		if err != nil {
+			genErr = err
+			break
+		}
+		for len(b.Records) < rc.BatchRecords {
+			nb, err := churn.Next()
+			if err != nil {
+				genErr = err
+				break feed
+			}
+			b.Records = append(b.Records, nb.Records...)
+		}
+		due := start.Add(time.Duration(float64(sent) / rc.Rate * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-ctx.Done():
+				break feed
+			case <-time.After(d):
+			}
+		}
+		select {
+		case <-ctx.Done():
+			break feed
+		case pending <- b:
+			sent += int64(len(b.Records))
+			atomic.AddInt64(&stats.Batches, 1)
+		}
+	}
+	close(pending)
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	stats.PushP50, stats.PushP99 = Percentiles(lats)
+	return stats, genErr
+}
+
+// Percentiles returns the p50 and p99 of the sample (zero when empty).
+func Percentiles(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	return idx(0.50), idx(0.99)
+}

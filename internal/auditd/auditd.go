@@ -36,6 +36,7 @@ import (
 	"indaas/internal/report"
 	"indaas/internal/sia"
 	"indaas/internal/store"
+	"indaas/internal/watch"
 )
 
 // Config tunes the service.
@@ -83,7 +84,20 @@ type Config struct {
 	// It is the fault-injection seam: tests and `serve -chaos` use it to add
 	// latency or errors to otherwise-instant workloads.
 	RunHook func(ctx context.Context, key string) error
-	// Now overrides the clock the store circuit breaker uses (tests only).
+	// IngestRate caps /v1/depdb admission at roughly this many records per
+	// second (token bucket; batches cost their record count). 0 disables the
+	// limit. Over-limit requests get 429 with a Retry-After the Client's
+	// backoff honors, so agent fleets self-pace through churn storms.
+	IngestRate float64
+	// IngestBurst is the token bucket's depth (default: one second's worth
+	// of IngestRate).
+	IngestBurst float64
+	// WatchBuffer bounds each watch subscription's event queue (default 16).
+	// A subscriber that falls a full buffer behind is evicted rather than
+	// allowed to stall the daemon or grow memory without limit.
+	WatchBuffer int
+	// Now overrides the clock the store circuit breaker and the ingest rate
+	// limiter use (tests only).
 	Now func() time.Time
 }
 
@@ -99,6 +113,9 @@ func (c *Config) defaults() {
 	}
 	if c.JobRetention == 0 {
 		c.JobRetention = 4096
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 16
 	}
 }
 
@@ -200,6 +217,19 @@ type Server struct {
 	ingestMu  sync.Mutex
 	snapMeta  snapMeta
 	snapDirty bool
+	// ingestCh feeds admitted ingest batches to the single committer
+	// goroutine, which group-commits everything waiting as one snapshot
+	// segment (see ingest.go). ingestWG counts admitted waiters not yet
+	// handed over, so Shutdown can close the channel safely; ingestLimit is
+	// the admission token bucket (nil = unlimited).
+	ingestCh    chan *ingestWaiter
+	ingestWG    sync.WaitGroup
+	ingestLimit *tokenBucket
+
+	// watchHub routes ingest touches to /v1/watch subscriptions; watchWG
+	// tracks their refresher goroutines (see watch.go).
+	watchHub *watch.Hub
+	watchWG  sync.WaitGroup
 }
 
 // New starts a service with cfg's worker pool running. Callers own the HTTP
@@ -219,7 +249,10 @@ func New(cfg Config) *Server {
 		lineage:  newLineageIndex(),
 		store:    cfg.Store,
 		breaker:  newBreaker(cfg.StoreFailureThreshold, cfg.StoreRetryInterval, cfg.Now),
+		ingestCh: make(chan *ingestWaiter, maxIngestGroup),
+		watchHub: watch.NewHub(),
 	}
+	s.ingestLimit = newTokenBucket(cfg.IngestRate, cfg.IngestBurst, cfg.Now)
 	if s.store != nil {
 		// Resume the persisted snapshot chain where the store left it so the
 		// next ingest appends a segment instead of restarting a generation.
@@ -229,6 +262,8 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.ingestCommitter()
 	return s
 }
 
@@ -849,6 +884,7 @@ func (s *Server) Stats() Stats {
 	if s.store != nil {
 		storeStats = s.store.Stats()
 	}
+	ws := s.watchHub.Stats()
 	degraded, reason := s.breaker.degraded()
 	return Stats{
 		StoreEnabled:       s.store != nil,
@@ -876,6 +912,16 @@ func (s *Server) Stats() Stats {
 		CacheEntries:    entries,
 		Recommendations: s.m.recommendations.Load(),
 		IngestedRecords: s.m.ingestedRecords.Load(),
+		IngestGroups:    s.m.ingestGroups.Load(),
+		IngestThrottled: s.m.ingestThrottled.Load(),
+
+		WatchSubscribers:   ws.Subscribers,
+		WatchSubscriptions: ws.Subscribed,
+		WatchEvents:        ws.EventsSent,
+		WatchDropped:       ws.EventsDropped,
+		WatchEvicted:       ws.Evicted,
+		WatchDirtyMarks:    ws.DirtyMarks,
+		WatchReaudits:      s.m.watchReaudits.Load(),
 
 		DeltaHits:          s.m.deltaHits.Load(),
 		DeltaPartials:      s.m.deltaPartials.Load(),
@@ -932,10 +978,12 @@ func (s *Server) StartStoreGC(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// Shutdown stops the service gracefully: new submissions are refused
-// immediately, queued and running jobs keep going until done or until ctx
-// expires, at which point their contexts are canceled and the pool drains
-// as the RG algorithms observe the cancellation.
+// Shutdown stops the service gracefully: new submissions and ingests are
+// refused immediately, already-admitted ingests are group-committed, watch
+// subscriptions are closed (their refreshers exit, their SSE streams end),
+// and queued and running jobs keep going until done or until ctx expires,
+// at which point their contexts are canceled and the pool drains as the RG
+// algorithms observe the cancellation.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -946,9 +994,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.queue)
 	s.mu.Unlock()
 
+	// Every ingest admitted before closed flipped is either already on the
+	// channel or about to be; wait those handoffs out, then close the channel
+	// so the committer commits what is queued and exits.
+	s.ingestWG.Wait()
+	close(s.ingestCh)
+	// Evict every watch subscription: refresher loops observe Done and
+	// return; SSE handlers observe the closed event channels and return.
+	s.watchHub.Close()
+
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.watchWG.Wait()
 		close(done)
 	}()
 	select {

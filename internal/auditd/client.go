@@ -1,6 +1,7 @@
 package auditd
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -357,4 +358,149 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	defer resp.Body.Close()
 	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
 	return string(blob), err
+}
+
+// Watcher is a live /v1/watch stream. Next blocks for the following event;
+// Close ends the stream. The watcher survives transient failures — a
+// refused connection while the daemon restarts, 429/503, a dropped stream —
+// by resubscribing with the client's backoff, so delivery across a daemon
+// restart is at-least-once: after a resubscribe the server replays the
+// subscription's initial report and Seq restarts from 1.
+type Watcher struct {
+	c      *Client
+	ctx    context.Context
+	cancel context.CancelFunc
+	blob   []byte // the subscription request, resent on every (re)connect
+	body   io.ReadCloser
+	rd     *bufio.Reader
+}
+
+// Watch subscribes to an audit request over SSE: the request is audited
+// immediately and re-audited after every ingest touching its deployments,
+// each report arriving as a WatchEvent. The stream lives until ctx is done
+// or Close is called.
+func (c *Client) Watch(ctx context.Context, req *SubmitRequest) (*Watcher, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	w := &Watcher{c: c, ctx: wctx, cancel: cancel, blob: blob}
+	if err := w.connect(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return w, nil
+}
+
+// connect (re)establishes the stream with one POST /v1/watch.
+func (w *Watcher) connect() error {
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.c.base+"/v1/watch", bytes.NewReader(w.blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := w.c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var ra time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return &statusErr{code: resp.StatusCode, retryAfter: ra, err: fmt.Errorf("auditd: %s", eb.Error)}
+		}
+		return &statusErr{code: resp.StatusCode, retryAfter: ra, err: fmt.Errorf("auditd: HTTP %d", resp.StatusCode)}
+	}
+	w.body = resp.Body
+	w.rd = bufio.NewReader(resp.Body)
+	return nil
+}
+
+// Next returns the stream's next event. Transport failures and server-side
+// stream ends (shutdown, eviction) resubscribe with backoff until ctx is
+// done; non-transient rejections (e.g. a 400 on a request the database
+// outgrew) are returned.
+func (w *Watcher) Next() (*WatchEvent, error) {
+	attempt := 0
+	for {
+		if w.rd != nil {
+			ev, err := w.readEvent()
+			if err == nil {
+				return ev, nil
+			}
+			// The stream broke or the server closed it: drop the connection
+			// and fall through to resubscribe.
+			w.closeBody()
+		}
+		if err := w.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := w.connect(); err != nil {
+			retry, hint := transientError(err, true)
+			if !retry {
+				return nil, err
+			}
+			if sleepCtx(w.ctx, w.c.Retry.backoff(attempt, hint)) != nil {
+				return nil, w.ctx.Err()
+			}
+			attempt++
+			continue
+		}
+		attempt = 0
+	}
+}
+
+// readEvent parses SSE frames until one report event arrives. Heartbeat
+// comments are skipped; a closed frame or EOF ends the stream.
+func (w *Watcher) readEvent() (*WatchEvent, error) {
+	var event string
+	var data []byte
+	for {
+		line, err := w.rd.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if event == "closed" {
+				return nil, errors.New("auditd: watch stream closed by server")
+			}
+			if event == "report" && len(data) > 0 {
+				ev := new(WatchEvent)
+				if err := json.Unmarshal(data, ev); err != nil {
+					return nil, err
+				}
+				return ev, nil
+			}
+			event, data = "", nil // unknown frame; keep reading
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		}
+	}
+}
+
+func (w *Watcher) closeBody() {
+	if w.body != nil {
+		w.body.Close()
+		w.body, w.rd = nil, nil
+	}
+}
+
+// Close ends the stream and releases the connection.
+func (w *Watcher) Close() {
+	w.cancel()
+	w.closeBody()
 }

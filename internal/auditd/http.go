@@ -2,7 +2,9 @@ package auditd
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -15,6 +17,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/audits", s.handleSubmit)
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	mux.HandleFunc("POST /v1/depdb", s.handleIngest)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("POST /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/audits", s.handleList)
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/audits/{id}/report", s.handleReport)
@@ -36,9 +40,18 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 func writeErr(w http.ResponseWriter, err error) {
 	code := httpStatus(err)
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		// A transient condition (full queue, shutdown, degraded store): tell
-		// well-behaved clients — including Client's backoff — when to retry.
-		w.Header().Set("Retry-After", "1")
+		// A transient condition (full queue, rate limit, shutdown, degraded
+		// store): tell well-behaved clients — including Client's backoff —
+		// when to retry. The rate limiter quotes its refill time; everything
+		// else defaults to one second (the header granularity's floor).
+		secs := 1
+		var se *statusErr
+		if errors.As(err, &se) && se.retryAfter > 0 {
+			if s := int(se.retryAfter.Seconds() + 0.999); s > secs {
+				secs = s
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }

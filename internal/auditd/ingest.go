@@ -24,7 +24,9 @@ type IngestResponse struct {
 	// Total is the database's record count after the ingest.
 	Total int `json:"total"`
 	// Fingerprint is the canonical content hash of the database snapshot
-	// registered by this ingest.
+	// registered by this ingest. Concurrent ingests may commit as one group
+	// (see the committer below); they then share the group's post-commit
+	// fingerprint.
 	Fingerprint string `json:"fingerprint"`
 	// Durable reports whether the batch was persisted before being
 	// acknowledged. False on a memory-only service, and on a durable one
@@ -33,15 +35,34 @@ type IngestResponse struct {
 	Durable bool `json:"durable"`
 }
 
+// ingestWaiter is one admitted ingest parked on the committer: its records,
+// and the response filled in when the group it joined commits.
+type ingestWaiter struct {
+	records []deps.Record
+	done    chan struct{} // closed once resp/err are set
+	resp    IngestResponse
+	err     error
+}
+
 // Ingest validates and appends dependency records to the server's database,
 // registering a fresh snapshot. All records are stored or none. Jobs
 // submitted earlier keep auditing the snapshot they resolved at submission
 // time; jobs submitted after see the grown database (and a new cache-key
-// fingerprint). On a durable service the batch is persisted — as one
-// snapshot-chain segment, with the post-ingest fingerprint previewed via
-// depdb.FingerprintWith — before the response is written: an acknowledged
-// ingest survives a hard kill, and the request costs O(batch) work no
-// matter how large the database has grown.
+// fingerprint).
+//
+// Durability is group-committed: admitted batches are handed to a single
+// committer goroutine that folds every batch currently waiting into ONE
+// snapshot-chain segment and ONE pointer update — two fsyncs per group
+// instead of two per request — before any of them is acknowledged. A lone
+// ingest on an idle daemon forms a group of one and behaves exactly as
+// before; under a churn storm the fsync cost amortizes across the group,
+// which is what lets a single-disk daemon absorb ~10k ingests/sec. An
+// acknowledged ingest still survives a hard kill, and the request still
+// costs O(batch) work no matter how large the database has grown.
+//
+// Admission is rate-limited when Config.IngestRate is set: a batch that
+// outruns the token bucket is rejected with 429 and a Retry-After quoting
+// when the bucket will have refilled, which the Client's backoff honors.
 func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	if len(req.Records) == 0 {
 		return IngestResponse{}, &statusErr{code: 400, err: errors.New("ingest has no records")}
@@ -55,10 +76,98 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 		records = append(records, r)
 	}
 
+	if ok, retryAfter := s.ingestLimit.take(float64(len(records))); !ok {
+		s.m.ingestThrottled.Add(1)
+		return IngestResponse{}, &statusErr{
+			code:       429,
+			retryAfter: retryAfter,
+			err:        fmt.Errorf("ingest rate limit exceeded, retry in %v (no records ingested)", retryAfter),
+		}
+	}
+
+	// The closed check and the in-flight count share one critical section:
+	// after Shutdown flips closed, no new waiter can slip past the
+	// ingestWG.Wait that precedes closing the channel.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return IngestResponse{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
+	}
+	s.ingestWG.Add(1)
+	s.mu.Unlock()
+
+	w := &ingestWaiter{records: records, done: make(chan struct{})}
+	s.ingestCh <- w
+	s.ingestWG.Done()
+	<-w.done
+	return w.resp, w.err
+}
+
+// maxIngestGroup caps how many waiters one commit group folds together,
+// bounding both the segment size and the latency of the first waiter.
+const maxIngestGroup = 1024
+
+// ingestCommitter is the single goroutine that owns ingest commits. It
+// blocks for the next admitted batch, greedily drains everything else
+// already waiting, and commits the lot as one group. It exits when Shutdown
+// closes the channel — after committing whatever was already admitted.
+func (s *Server) ingestCommitter() {
+	defer s.wg.Done()
+	for {
+		w, ok := <-s.ingestCh
+		if !ok {
+			return
+		}
+		group := []*ingestWaiter{w}
+		open := true
+	drain:
+		for len(group) < maxIngestGroup {
+			select {
+			case w2, ok2 := <-s.ingestCh:
+				if !ok2 {
+					open = false
+					break drain
+				}
+				group = append(group, w2)
+			default:
+				break drain
+			}
+		}
+		s.commitGroup(group)
+		if !open {
+			return
+		}
+	}
+}
+
+// commitGroup makes one group of admitted batches live: persisted (one
+// segment + one pointer flip), committed to the in-memory database, watch
+// subscriptions notified, and every waiter answered. On a persist failure
+// the memory database is untouched and every waiter gets 503 — each client
+// can safely retry, exactly as with per-request commits.
+func (s *Server) commitGroup(group []*ingestWaiter) {
+	n := 0
+	for _, w := range group {
+		n += len(w.records)
+	}
+	records := make([]deps.Record, 0, n)
+	for _, w := range group {
+		records = append(records, w.records...)
+	}
+	fail := func(code int, err error) {
+		for _, w := range group {
+			w.err = &statusErr{code: code, err: err}
+			close(w.done)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed && s.db == nil {
+		// Shutdown raced the admission of the very first ingest; refuse
+		// rather than create a database nobody will serve.
+		s.mu.Unlock()
+		fail(503, errors.New("service is shutting down"))
+		return
 	}
 	if s.db == nil {
 		s.db = depdb.New()
@@ -66,28 +175,28 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	db := s.db
 	s.mu.Unlock()
 
-	// ingestMu serializes the Put with its segment persistence: without it
-	// two concurrent ingests could append segments under the same index and
-	// leave the durable chain missing one of the batches. Put itself is
-	// atomic (all records or none) and safe against concurrent snapshot
-	// readers; the job-table lock is not held across it.
-	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
-
-	// On a durable service, persist the batch BEFORE committing to the live
+	// ingestMu serializes the Put with its segment persistence (snapMeta is
+	// guarded by it). Put itself is atomic (all records or none) and safe
+	// against concurrent snapshot readers; the job-table lock is not held
+	// across it.
+	//
+	// On a durable service, persist the group BEFORE committing to the live
 	// database: a failed disk write then leaves the memory DB untouched, so
-	// the client's retry cannot duplicate records (depdb.Put appends blindly
-	// and duplicates change the canonical fingerprint). Only the batch (and,
-	// the first time, the pre-existing records) is written — never a copy of
-	// the whole database per request. While the breaker is open the batch is
-	// committed to memory only and the chain is marked stale (snapDirty), so
-	// the next durable ingest rebuilds it in full.
+	// the clients' retries cannot duplicate records (depdb.Put appends
+	// blindly and duplicates change the canonical fingerprint). Only the
+	// group (and, the first time, the pre-existing records) is written —
+	// never a copy of the whole database per request. While the breaker is
+	// open the group is committed to memory only and the chain is marked
+	// stale (snapDirty), so the next durable ingest rebuilds it in full.
+	s.ingestMu.Lock()
 	durable := false
 	if s.store != nil {
 		if s.breaker.allow() {
 			if err := s.persistIngestLocked(db, records); err != nil {
 				s.storeFailure(fmt.Sprintf("persisting ingest of %d records", len(records)), err)
-				return IngestResponse{}, &statusErr{code: 503, err: fmt.Errorf("snapshot not persisted, no records ingested (safe to retry): %w", err)}
+				s.ingestMu.Unlock()
+				fail(503, fmt.Errorf("snapshot not persisted, no records ingested (safe to retry): %w", err))
+				return
 			}
 			s.storeOK()
 			durable = true
@@ -98,17 +207,29 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	if err := db.Put(records...); err != nil {
 		// Unreachable after the per-record validation above, but never
 		// silently diverge memory from the persisted snapshot chain.
-		return IngestResponse{}, &statusErr{code: 500, err: err}
+		s.ingestMu.Unlock()
+		fail(500, err)
+		return
 	}
 	if s.store != nil && !durable {
 		s.snapDirty = true
 	}
 	s.m.ingestedRecords.Add(int64(len(records)))
+	s.m.ingestGroups.Add(1)
 	snap := db.Snapshot()
-	return IngestResponse{
-		Added:       len(records),
-		Total:       snap.Len(),
-		Fingerprint: snap.Fingerprint(),
-		Durable:     durable,
-	}, nil
+	s.ingestMu.Unlock()
+
+	// Mark watch subscriptions dirty BEFORE acknowledging any waiter: by the
+	// time a pusher's ingest returns, the re-audit it owes is already owed.
+	s.notifyWatchers(records)
+
+	for _, w := range group {
+		w.resp = IngestResponse{
+			Added:       len(w.records),
+			Total:       snap.Len(),
+			Fingerprint: snap.Fingerprint(),
+			Durable:     durable,
+		}
+		close(w.done)
+	}
 }

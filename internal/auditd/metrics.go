@@ -24,6 +24,9 @@ type metrics struct {
 
 	recommendations atomic.Int64 // placement recommendation jobs accepted
 	ingestedRecords atomic.Int64 // dependency records accepted via /v1/depdb
+	ingestGroups    atomic.Int64 // ingest commit groups (one segment + pointer fsync pair each)
+	ingestThrottled atomic.Int64 // ingests rejected by the rate limiter (429)
+	watchReaudits   atomic.Int64 // re-audit jobs submitted by watch refreshers
 
 	deltaHits     atomic.Int64 // jobs answered whole from an ancestor result
 	deltaPartials atomic.Int64 // jobs that recomputed only their dirty subjects
@@ -57,6 +60,23 @@ type Stats struct {
 
 	Recommendations int64
 	IngestedRecords int64
+	// IngestGroups counts commit groups: concurrent ingests fold into one
+	// group per fsync pair, so IngestGroups ≪ ingest requests under load.
+	// IngestThrottled counts ingests rejected by the admission rate limit.
+	IngestGroups    int64
+	IngestThrottled int64
+
+	// Watch* describe the /v1/watch subsystem: live subscribers, lifetime
+	// subscriptions, events queued to subscribers, events dropped (each drop
+	// evicts its slow consumer), dirty marks from ingests, and re-audit jobs
+	// the refreshers submitted.
+	WatchSubscribers   int
+	WatchSubscriptions int64
+	WatchEvents        int64
+	WatchDropped       int64
+	WatchEvicted       int64
+	WatchDirtyMarks    int64
+	WatchReaudits      int64
 
 	// DeltaHits counts jobs answered entirely from an ancestor result after
 	// a database change that missed their subjects; DeltaPartials counts
@@ -116,6 +136,15 @@ func (s Stats) render(w io.Writer) {
 	counter("auditd_computations_total", "Computations executed by the worker pool.", s.Computations)
 	counter("auditd_recommendations_total", "Placement recommendation jobs accepted.", s.Recommendations)
 	counter("auditd_depdb_ingested_records_total", "Dependency records accepted via /v1/depdb.", s.IngestedRecords)
+	counter("auditd_depdb_commit_groups_total", "Ingest commit groups (one snapshot segment and fsync pair each).", s.IngestGroups)
+	counter("auditd_depdb_throttled_total", "Ingests rejected by the admission rate limit (429).", s.IngestThrottled)
+	gauge("auditd_watch_subscribers", "Live /v1/watch subscriptions.", s.WatchSubscribers)
+	counter("auditd_watch_subscriptions_total", "Watch subscriptions ever registered.", s.WatchSubscriptions)
+	counter("auditd_watch_events_total", "Events queued to watch subscribers.", s.WatchEvents)
+	counter("auditd_watch_dropped_events_total", "Events dropped on full subscriber queues (each drop evicts).", s.WatchDropped)
+	counter("auditd_watch_evicted_total", "Watch subscribers evicted as slow consumers.", s.WatchEvicted)
+	counter("auditd_watch_dirty_marks_total", "Times an ingest marked a watch subscription dirty.", s.WatchDirtyMarks)
+	counter("auditd_watch_reaudits_total", "Re-audit jobs submitted by watch refreshers.", s.WatchReaudits)
 	counter("auditd_delta_hits_total", "Jobs answered whole from an ancestor result (database changed, subjects untouched).", s.DeltaHits)
 	counter("auditd_delta_partial_total", "Jobs that re-audited only their dirty subjects and spliced the rest.", s.DeltaPartials)
 	counter("auditd_delta_dirty_subjects_total", "Dirty subjects re-audited across delta-partial jobs.", s.DeltaDirtySubjects)

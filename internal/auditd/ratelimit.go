@@ -1,0 +1,79 @@
+package auditd
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket rate-limits ingest admission. Tokens are records: a batch of
+// n records costs n tokens, so a churn storm of fat batches throttles just
+// like a storm of many small ones. The bucket refills continuously at rate
+// tokens/second up to burst; a request that cannot be paid for is rejected
+// with the time at which enough tokens will have accumulated — the server's
+// Retry-After hint, which the fleet's client backoff honors, so pushers
+// self-pace instead of hammering.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket returns a full bucket, or nil when rate <= 0 (unlimited).
+// burst <= 0 defaults to one second's worth of tokens (minimum 1).
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// take tries to spend n tokens. On failure it reports how long until the
+// deficit refills (at least a millisecond, so callers can surface it).
+func (b *tokenBucket) take(n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	// A batch larger than the whole bucket could never be paid for in full:
+	// once the bucket is full it borrows instead, driving tokens negative so
+	// later requests repay the debt. The long-term rate holds and a patient
+	// retrying client always makes progress.
+	if n > b.burst && b.tokens >= b.burst {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := n - b.tokens
+	if n > b.burst {
+		deficit = b.burst - b.tokens
+	}
+	d := time.Duration(deficit / b.rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return false, d
+}

@@ -47,11 +47,16 @@ type Reader interface {
 	// QueryAll returns every record about subject, grouped network,
 	// hardware, software (each group in insertion order).
 	QueryAll(subject string) []deps.Record
-	// Networks returns the network records for subject, unwrapped.
+	// Networks returns the current network state for subject: one record
+	// per distinct route, exact re-observations collapsed. Redundant routes
+	// between the same endpoints are distinct routes and all survive.
 	Networks(subject string) []deps.Network
-	// HardwareOf returns the hardware records for subject, unwrapped.
+	// HardwareOf returns the current hardware state for subject: the latest
+	// record per slot (machine, component type), so a replaced component
+	// shows only its present model.
 	HardwareOf(subject string) []deps.Hardware
-	// SoftwareOf returns the software records for subject, unwrapped.
+	// SoftwareOf returns the current software state for subject: the latest
+	// record per program, so an upgrade shows only the new closure.
 	SoftwareOf(subject string) []deps.Software
 	// Subjects returns every subject with at least one record, sorted.
 	Subjects() []string
@@ -277,17 +282,17 @@ func (db *DB) Records() []deps.Record {
 	return append([]deps.Record(nil), db.v.records...)
 }
 
-// Networks returns the network records for subject, unwrapped.
+// Networks returns the current network state for subject; see Reader.
 func (db *DB) Networks(subject string) []deps.Network {
 	return unwrapNetworks(db.Query(subject, deps.KindNetwork))
 }
 
-// HardwareOf returns the hardware records for subject, unwrapped.
+// HardwareOf returns the current hardware state for subject; see Reader.
 func (db *DB) HardwareOf(subject string) []deps.Hardware {
 	return unwrapHardware(db.Query(subject, deps.KindHardware))
 }
 
-// SoftwareOf returns the software records for subject, unwrapped.
+// SoftwareOf returns the current software state for subject; see Reader.
 func (db *DB) SoftwareOf(subject string) []deps.Software {
 	return unwrapSoftware(db.Query(subject, deps.KindSoftware))
 }
@@ -393,40 +398,71 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	return db.Snapshot(), nil
 }
 
-// Networks returns the network records for subject, unwrapped.
+// Networks returns the current network state for subject; see Reader.
 func (s *Snapshot) Networks(subject string) []deps.Network {
 	return unwrapNetworks(s.Query(subject, deps.KindNetwork))
 }
 
-// HardwareOf returns the hardware records for subject, unwrapped.
+// HardwareOf returns the current hardware state for subject; see Reader.
 func (s *Snapshot) HardwareOf(subject string) []deps.Hardware {
 	return unwrapHardware(s.Query(subject, deps.KindHardware))
 }
 
-// SoftwareOf returns the software records for subject, unwrapped.
+// SoftwareOf returns the current software state for subject; see Reader.
 func (s *Snapshot) SoftwareOf(subject string) []deps.Software {
 	return unwrapSoftware(s.Query(subject, deps.KindSoftware))
 }
 
+// The unwrap helpers reduce a subject's insertion-ordered record log to its
+// current state. The log is append-only — continuous acquisition re-observes
+// the same dependencies indefinitely — so raw pass-through would hand graph
+// builders every observation ever made: duplicate fault-graph events at
+// best, an unboundedly growing graph at worst. Hardware and software reduce
+// latest-wins per identity (a record supersedes the previous observation of
+// the same slot or program); networks collapse exact re-observations only,
+// because redundant routes between the same endpoints share an identity and
+// must all survive. Order is first observation of each identity, so churn
+// does not reshuffle graph layout.
+
 func unwrapNetworks(recs []deps.Record) []deps.Network {
+	seen := make(map[string]bool, len(recs))
 	out := make([]deps.Network, 0, len(recs))
 	for _, r := range recs {
+		line := canonicalLine(r)
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
 		out = append(out, *r.Network)
 	}
 	return out
 }
 
 func unwrapHardware(recs []deps.Record) []deps.Hardware {
+	at := make(map[string]int, len(recs))
 	out := make([]deps.Hardware, 0, len(recs))
 	for _, r := range recs {
+		id := identityKey(r)
+		if i, ok := at[id]; ok {
+			out[i] = *r.Hardware
+			continue
+		}
+		at[id] = len(out)
 		out = append(out, *r.Hardware)
 	}
 	return out
 }
 
 func unwrapSoftware(recs []deps.Record) []deps.Software {
+	at := make(map[string]int, len(recs))
 	out := make([]deps.Software, 0, len(recs))
 	for _, r := range recs {
+		id := identityKey(r)
+		if i, ok := at[id]; ok {
+			out[i] = *r.Software
+			continue
+		}
+		at[id] = len(out)
 		out = append(out, *r.Software)
 	}
 	return out

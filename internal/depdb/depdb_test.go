@@ -201,3 +201,60 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d, want %d", db.Len(), 8*50)
 	}
 }
+
+// TestCurrentStateViews: the unwrapped accessors reduce the append-only log
+// to current state. Continuous acquisition re-observes dependencies forever;
+// graph builders must see one event per component, not one per observation.
+func TestCurrentStateViews(t *testing.T) {
+	db := New()
+	err := db.Put(
+		// NIC replaced twice: model A -> B -> A again.
+		deps.NewHardware("S1", "NIC", "S1-modelA"),
+		deps.NewHardware("S1", "NIC", "S1-modelB"),
+		deps.NewHardware("S1", "NIC", "S1-modelA"),
+		deps.NewHardware("S1", "Disk", "S1-SED900"),
+		// svc upgraded: the new closure supersedes the old.
+		deps.NewSoftware("svc", "S1", "libc6", "openssl-1.0.1"),
+		deps.NewSoftware("svc", "S1", "libc6", "openssl-1.0.2"),
+		// The same route observed in two capture windows, plus a genuinely
+		// redundant second route between the same endpoints.
+		deps.NewNetwork("S1", "Internet", "ToR1", "Core1"),
+		deps.NewNetwork("S1", "Internet", "ToR1", "Core1"),
+		deps.NewNetwork("S1", "Internet", "ToR1", "Core2"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hw := db.HardwareOf("S1")
+	if len(hw) != 2 {
+		t.Fatalf("HardwareOf = %v, want latest per slot (NIC, Disk)", hw)
+	}
+	if hw[0].Type != "NIC" || hw[0].Dep != "S1-modelA" {
+		t.Errorf("NIC slot = %+v, want the latest observation in first-seen order", hw[0])
+	}
+
+	sw := db.SoftwareOf("S1")
+	if len(sw) != 1 || !reflect.DeepEqual(sw[0].Dep, []string{"libc6", "openssl-1.0.2"}) {
+		t.Errorf("SoftwareOf = %v, want only the upgraded closure", sw)
+	}
+
+	nets := db.Networks("S1")
+	if len(nets) != 2 {
+		t.Fatalf("Networks = %v, want re-observation collapsed, redundant route kept", nets)
+	}
+	if nets[0].Route[1] != "Core1" || nets[1].Route[1] != "Core2" {
+		t.Errorf("Networks order changed: %v", nets)
+	}
+
+	// The snapshot view reduces identically.
+	s := db.Snapshot()
+	if len(s.HardwareOf("S1")) != 2 || len(s.SoftwareOf("S1")) != 1 || len(s.Networks("S1")) != 2 {
+		t.Errorf("snapshot views disagree: hw=%v sw=%v net=%v",
+			s.HardwareOf("S1"), s.SoftwareOf("S1"), s.Networks("S1"))
+	}
+	// The raw log is untouched: Query still returns every observation.
+	if got := len(db.Query("S1", deps.KindHardware)); got != 4 {
+		t.Errorf("raw hardware log has %d records, want 4", got)
+	}
+}

@@ -314,3 +314,44 @@ func TestAuditUnknownOptions(t *testing.T) {
 		t.Error("unknown rank mode accepted")
 	}
 }
+
+// TestBuildGraphStableUnderReobservation: continuous acquisition keeps
+// appending observations of the same dependencies to DepDB. The graph must
+// neither fail (duplicate events) nor grow — re-auditing a watched
+// deployment after a NIC flap cycle, a package upgrade and a netflow
+// re-observation yields a graph of the same shape.
+func TestBuildGraphStableUnderReobservation(t *testing.T) {
+	db := storageDB(t)
+	spec := GraphSpec{Deployment: "storage", Servers: []string{"S1", "S2"}}
+	before, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Put(
+		deps.NewHardware("S1", "CPU", "S1-Opteron2435"),          // replaced
+		deps.NewHardware("S1", "CPU", "S1-Intel(R)X5550@2.6GHz"), // and swapped back
+		deps.NewSoftware("Riak1", "S1", "libc6", "libsvn1"),      // same closure again
+		deps.NewNetwork("S1", "Internet", "ToR1", "Core1"),       // same route again
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatalf("rebuild after re-observation: %v", err)
+	}
+	if after.Len() != before.Len() {
+		t.Errorf("graph grew from %d to %d nodes under pure re-observation", before.Len(), after.Len())
+	}
+	// A real change does show: upgrading Riak1's closure swaps the package.
+	if err := db.Put(deps.NewSoftware("Riak1", "S1", "libc6", "libsvn2")); err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := BuildGraph(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := upgraded.Lookup("libsvn2"); !ok {
+		t.Error("upgraded package missing from rebuilt graph")
+	}
+}

@@ -50,6 +50,26 @@ func (u *Universe) Add(p Package) error {
 	return nil
 }
 
+// Upgrade replaces an installed package's version (and, when depends is
+// non-nil, its dependency edges) — a rolling software upgrade as the agent
+// fleet's churn generator replays it. Unknown packages are an error: an
+// upgrade of something never installed is Add's job.
+func (u *Universe) Upgrade(name, version string, depends []string) error {
+	if version == "" {
+		return fmt.Errorf("swpkg: upgrade of %q needs a version", name)
+	}
+	p, ok := u.pkgs[name]
+	if !ok {
+		return fmt.Errorf("swpkg: cannot upgrade unknown package %q", name)
+	}
+	p.Version = version
+	if depends != nil {
+		p.Depends = append([]string(nil), depends...)
+	}
+	u.pkgs[name] = p
+	return nil
+}
+
 // Get looks up a package by name.
 func (u *Universe) Get(name string) (Package, bool) {
 	p, ok := u.pkgs[name]

@@ -32,6 +32,49 @@ func TestAddAndGet(t *testing.T) {
 	}
 }
 
+// TestUpgrade: an upgrade bumps the installed version in place (Add keeps
+// rejecting duplicates) and the new closure flows into Resolve/Record.
+func TestUpgrade(t *testing.T) {
+	u := NewUniverse()
+	for _, p := range []Package{
+		{Name: "app", Version: "1.0", Depends: []string{"libc"}},
+		{Name: "libc", Version: "2.31"},
+		{Name: "libssl", Version: "3.0"},
+	} {
+		if err := u.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Upgrade("ghost", "1.1", nil); err == nil {
+		t.Error("upgrade of an unknown package accepted")
+	}
+	if err := u.Upgrade("app", "", nil); err == nil {
+		t.Error("upgrade without a version accepted")
+	}
+	// Version-only upgrade keeps the dependency edges.
+	if err := u.Upgrade("libc", "2.36", nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := u.Get("libc"); p.ID() != "libc=2.36" {
+		t.Errorf("after upgrade Get(libc) = %+v", p)
+	}
+	// An upgrade that changes the edges changes the closure.
+	if err := u.Upgrade("app", "2.0", []string{"libc", "libssl"}); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := u.ClosureIDs("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"app=2.0", "libc=2.36", "libssl=3.0"}
+	if !sort.StringsAreSorted(ids) || strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Errorf("closure after upgrade = %v, want %v", ids, want)
+	}
+	if u.Len() != 3 {
+		t.Errorf("Len = %d after upgrades, want 3", u.Len())
+	}
+}
+
 func TestResolveChain(t *testing.T) {
 	u := NewUniverse()
 	mustAdd(t, u, Package{Name: "app", Version: "1", Depends: []string{"libx"}})

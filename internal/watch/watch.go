@@ -1,0 +1,348 @@
+// Package watch implements the subscription hub behind auditd's streaming
+// /v1/watch endpoint: clients register interest in audit subjects, ingests
+// mark matching subscriptions dirty, and a per-subscription refresher drains
+// the dirt into re-audits whose results are delivered over a bounded event
+// queue.
+//
+// The hub is deliberately decoupled from auditd: subjects are opaque
+// strings, dependency kinds are small ordinals folded into a bitmask, and
+// events are opaque payloads. Two properties matter at streaming ingest
+// rates:
+//
+//   - Notify is O(touched subjects), not O(subscriptions): a per-subject
+//     index maps each touched subject straight to the subscriptions that
+//     registered it.
+//   - Dirt accumulates, it does not queue. A subscription that is marked
+//     dirty a thousand times between two refreshes owes exactly one
+//     re-audit covering the union of its dirty subjects — the signal
+//     channel is level-triggered, so a storm of ingests coalesces instead
+//     of building a backlog.
+//
+// Event delivery is bounded: Send never blocks, and a subscriber that lets
+// its queue fill is evicted (its channels close) rather than allowed to
+// stall the daemon or grow memory without limit.
+package watch
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Event is an opaque payload delivered to a subscriber.
+type Event any
+
+// Touch names one changed subject and the kind ordinal of the change, the
+// unit Notify matches against subscription interest.
+type Touch struct {
+	Subject string
+	Kind    int
+}
+
+// KindMask folds kind ordinals into an interest bitmask. An empty call (or
+// a zero mask anywhere in the API) means "every kind".
+func KindMask(kinds ...int) uint64 {
+	var m uint64
+	for _, k := range kinds {
+		if k >= 0 && k < 64 {
+			m |= 1 << uint(k)
+		}
+	}
+	return m
+}
+
+// Interest describes what a subscription cares about. A Touch matches when
+// its subject is listed (or All is set) and its kind is in the mask (or the
+// mask is zero).
+type Interest struct {
+	// Subjects are the exact subject names of interest.
+	Subjects []string
+	// Kinds is a KindMask bitmask; 0 means every kind.
+	Kinds uint64
+	// All marks interest in every subject regardless of Subjects.
+	All bool
+}
+
+// Stats is a point-in-time snapshot of the hub counters.
+type Stats struct {
+	// Subscribers is the number of currently live subscriptions.
+	Subscribers int
+	// Subscribed counts every subscription ever registered.
+	Subscribed int64
+	// Evicted counts subscriptions removed because their event queue was
+	// full when an event arrived (slow consumers).
+	Evicted int64
+	// Closed counts subscriptions ended by their owner.
+	Closed int64
+	// DirtyMarks counts subscription dirty transitions: how many times a
+	// Notify or Kick found a matching subscription to mark.
+	DirtyMarks int64
+	// EventsSent counts events successfully queued to a subscriber;
+	// EventsDropped counts events lost because the queue was full (each
+	// drop also evicts the subscriber).
+	EventsSent    int64
+	EventsDropped int64
+}
+
+// ErrClosed is returned by Subscribe after the hub shut down.
+var ErrClosed = errors.New("watch: hub is closed")
+
+// Hub routes subject touches to interested subscriptions. All state shares
+// one mutex: the per-ingest work (Notify) is a handful of map lookups, and
+// a single lock keeps the eviction/close/send interleavings trivially safe.
+type Hub struct {
+	mu        sync.Mutex
+	closed    bool
+	subs      map[*Sub]struct{}
+	bySubject map[string]map[*Sub]struct{}
+	all       map[*Sub]struct{}
+
+	subscribed int64
+	evicted    int64
+	closedSubs int64
+	dirtyMarks int64
+	sent       int64
+	dropped    int64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		subs:      make(map[*Sub]struct{}),
+		bySubject: make(map[string]map[*Sub]struct{}),
+		all:       make(map[*Sub]struct{}),
+	}
+}
+
+// Sub is one live subscription. The owner consumes Events and calls Close;
+// the refresher side waits on Signal, drains TakeDirty and pushes results
+// through Send.
+type Sub struct {
+	hub   *Hub
+	kinds uint64
+	keys  []string // registered subject index entries, for removal
+	all   bool
+
+	events chan Event
+	signal chan struct{} // level-triggered, capacity 1
+	done   chan struct{} // closed on Close or eviction
+
+	// Guarded by hub.mu.
+	closed   bool
+	evicted  bool
+	dirty    map[string]struct{}
+	dirtyAll bool
+}
+
+// Subscribe registers a subscription with a bounded event queue of the
+// given capacity (minimum 1).
+func (h *Hub) Subscribe(interest Interest, buffer int) (*Sub, error) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	sub := &Sub{
+		hub:    h,
+		kinds:  interest.Kinds,
+		all:    interest.All,
+		events: make(chan Event, buffer),
+		signal: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		dirty:  make(map[string]struct{}),
+	}
+	if !sub.all {
+		seen := make(map[string]struct{}, len(interest.Subjects))
+		for _, subj := range interest.Subjects {
+			if _, dup := seen[subj]; dup {
+				continue
+			}
+			seen[subj] = struct{}{}
+			set := h.bySubject[subj]
+			if set == nil {
+				set = make(map[*Sub]struct{})
+				h.bySubject[subj] = set
+			}
+			set[sub] = struct{}{}
+			sub.keys = append(sub.keys, subj)
+		}
+	} else {
+		h.all[sub] = struct{}{}
+	}
+	h.subs[sub] = struct{}{}
+	h.subscribed++
+	return sub, nil
+}
+
+// Notify marks every subscription whose interest matches a touch dirty with
+// that touch's subject, signalling each matched subscription once. It
+// returns the number of subscriptions marked.
+func (h *Hub) Notify(touches []Touch) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	marked := make(map[*Sub]struct{})
+	mark := func(sub *Sub, t Touch) {
+		if sub.kinds != 0 && sub.kinds&(1<<uint(t.Kind)) == 0 {
+			return
+		}
+		sub.dirty[t.Subject] = struct{}{}
+		marked[sub] = struct{}{}
+	}
+	for _, t := range touches {
+		for sub := range h.bySubject[t.Subject] {
+			mark(sub, t)
+		}
+		for sub := range h.all {
+			mark(sub, t)
+		}
+	}
+	for sub := range marked {
+		h.dirtyMarks++
+		sub.raiseLocked()
+	}
+	return len(marked)
+}
+
+// Close evicts every subscription and refuses future subscribes. Pending
+// queued events stay readable until each subscriber drains its channel.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for sub := range h.subs {
+		h.removeLocked(sub, false)
+	}
+}
+
+// Stats snapshots the hub counters.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Stats{
+		Subscribers:   len(h.subs),
+		Subscribed:    h.subscribed,
+		Evicted:       h.evicted,
+		Closed:        h.closedSubs,
+		DirtyMarks:    h.dirtyMarks,
+		EventsSent:    h.sent,
+		EventsDropped: h.dropped,
+	}
+}
+
+// removeLocked unregisters a subscription and closes its channels. evict
+// marks the removal as a slow-consumer eviction. Caller holds h.mu.
+func (h *Hub) removeLocked(sub *Sub, evict bool) {
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	sub.evicted = evict
+	delete(h.subs, sub)
+	delete(h.all, sub)
+	for _, subj := range sub.keys {
+		set := h.bySubject[subj]
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(h.bySubject, subj)
+		}
+	}
+	if evict {
+		h.evicted++
+	} else {
+		h.closedSubs++
+	}
+	close(sub.done)
+	close(sub.events)
+}
+
+// raiseLocked sets the level-triggered signal. Caller holds h.mu.
+func (s *Sub) raiseLocked() {
+	if s.closed {
+		return
+	}
+	select {
+	case s.signal <- struct{}{}:
+	default: // already raised
+	}
+}
+
+// Signal is readable whenever dirt accumulated since the last TakeDirty.
+func (s *Sub) Signal() <-chan struct{} { return s.signal }
+
+// Done is closed when the subscription ends (Close or eviction).
+func (s *Sub) Done() <-chan struct{} { return s.done }
+
+// Events delivers the subscription's payloads; it is closed when the
+// subscription ends, after any queued events are drained.
+func (s *Sub) Events() <-chan Event { return s.events }
+
+// Evicted reports whether the subscription was removed as a slow consumer.
+func (s *Sub) Evicted() bool {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.evicted
+}
+
+// Kick marks the subscription unconditionally dirty — "refresh regardless
+// of subjects" — used to trigger the initial report of a new subscription.
+func (s *Sub) Kick() {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.dirtyAll = true
+	s.hub.dirtyMarks++
+	s.raiseLocked()
+}
+
+// TakeDirty drains and returns the accumulated dirty subjects (sorted) and
+// whether an unconditional refresh was requested. Both empty means the
+// signal raced an earlier drain and there is nothing left to do.
+func (s *Sub) TakeDirty() (subjects []string, all bool) {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	all = s.dirtyAll
+	s.dirtyAll = false
+	if len(s.dirty) > 0 {
+		subjects = make([]string, 0, len(s.dirty))
+		for subj := range s.dirty {
+			subjects = append(subjects, subj)
+		}
+		sort.Strings(subjects)
+		s.dirty = make(map[string]struct{})
+	}
+	return subjects, all
+}
+
+// Send queues an event without blocking. A full queue means the consumer
+// fell behind an entire buffer's worth of re-audits: the event is dropped
+// and the subscription evicted (channels closed), and Send reports false.
+// Send also reports false on an already-ended subscription.
+func (s *Sub) Send(ev Event) bool {
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.events <- ev:
+		h.sent++
+		return true
+	default:
+		h.dropped++
+		h.removeLocked(s, true)
+		return false
+	}
+}
+
+// Close ends the subscription. Idempotent; queued events stay readable.
+func (s *Sub) Close() {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	s.hub.removeLocked(s, false)
+}

@@ -1,0 +1,280 @@
+package watch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func signaled(t *testing.T, s *Sub) {
+	t.Helper()
+	select {
+	case <-s.Signal():
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription was never signaled")
+	}
+}
+
+func notSignaled(t *testing.T, s *Sub) {
+	t.Helper()
+	select {
+	case <-s.Signal():
+		t.Fatal("subscription was signaled unexpectedly")
+	default:
+	}
+}
+
+func TestNotifyRoutesBySubjectAndKind(t *testing.T) {
+	h := NewHub()
+	hw, err := h.Subscribe(Interest{Subjects: []string{"s1", "s2"}, Kinds: KindMask(1)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyKind, err := h.Subscribe(Interest{Subjects: []string{"s2"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := h.Subscribe(Interest{Subjects: []string{"s9"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A kind-0 touch on s2 reaches only the any-kind subscription.
+	if n := h.Notify([]Touch{{Subject: "s2", Kind: 0}}); n != 1 {
+		t.Fatalf("Notify marked %d subscriptions, want 1", n)
+	}
+	signaled(t, anyKind)
+	notSignaled(t, hw)
+	notSignaled(t, other)
+	subj, all := anyKind.TakeDirty()
+	if all || len(subj) != 1 || subj[0] != "s2" {
+		t.Fatalf("TakeDirty = %v, %v; want [s2], false", subj, all)
+	}
+
+	// A kind-1 touch on s1 reaches only the kind-masked subscription.
+	if n := h.Notify([]Touch{{Subject: "s1", Kind: 1}}); n != 1 {
+		t.Fatalf("Notify marked %d, want 1", n)
+	}
+	signaled(t, hw)
+	subj, all = hw.TakeDirty()
+	if all || len(subj) != 1 || subj[0] != "s1" {
+		t.Fatalf("TakeDirty = %v, %v; want [s1], false", subj, all)
+	}
+
+	// Unmatched subject reaches nobody.
+	if n := h.Notify([]Touch{{Subject: "nope", Kind: 1}}); n != 0 {
+		t.Fatalf("Notify marked %d, want 0", n)
+	}
+}
+
+func TestNotifyCoalescesIntoOneSignal(t *testing.T) {
+	h := NewHub()
+	sub, err := h.Subscribe(Interest{Subjects: []string{"a", "b"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Notify([]Touch{{Subject: "a"}, {Subject: "b"}})
+	}
+	signaled(t, sub)
+	subj, _ := sub.TakeDirty()
+	if len(subj) != 2 || subj[0] != "a" || subj[1] != "b" {
+		t.Fatalf("dirty subjects = %v, want [a b]", subj)
+	}
+	// The signal is level-triggered: one token no matter how many marks.
+	notSignaled(t, sub)
+	// And drained dirt stays drained.
+	if subj, all := sub.TakeDirty(); len(subj) != 0 || all {
+		t.Fatalf("second TakeDirty = %v, %v; want empty", subj, all)
+	}
+}
+
+func TestAllSubjectInterest(t *testing.T) {
+	h := NewHub()
+	sub, err := h.Subscribe(Interest{All: true, Kinds: KindMask(0, 2)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Notify([]Touch{{Subject: "anything", Kind: 2}})
+	signaled(t, sub)
+	if subj, _ := sub.TakeDirty(); len(subj) != 1 || subj[0] != "anything" {
+		t.Fatalf("dirty = %v, want [anything]", subj)
+	}
+	// Kind 1 is filtered even for all-subject interest.
+	if n := h.Notify([]Touch{{Subject: "anything", Kind: 1}}); n != 0 {
+		t.Fatalf("Notify marked %d, want 0", n)
+	}
+}
+
+func TestKickRequestsUnconditionalRefresh(t *testing.T) {
+	h := NewHub()
+	sub, err := h.Subscribe(Interest{Subjects: []string{"x"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Kick()
+	signaled(t, sub)
+	subj, all := sub.TakeDirty()
+	if !all || len(subj) != 0 {
+		t.Fatalf("TakeDirty = %v, %v; want none, true", subj, all)
+	}
+	sub.Close()
+	sub.Kick() // no-op after close, must not panic or signal
+}
+
+func TestSendAndSlowConsumerEviction(t *testing.T) {
+	h := NewHub()
+	sub, err := h.Subscribe(Interest{Subjects: []string{"x"}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Send("e1") || !sub.Send("e2") {
+		t.Fatal("sends within the buffer must succeed")
+	}
+	// Third send overflows the unread queue: the subscriber is evicted.
+	if sub.Send("e3") {
+		t.Fatal("overflow send must report false")
+	}
+	if !sub.Evicted() {
+		t.Fatal("subscription should be marked evicted")
+	}
+	select {
+	case <-sub.Done():
+	default:
+		t.Fatal("Done must be closed after eviction")
+	}
+	// Queued events are still drainable, then the channel closes.
+	if ev := <-sub.Events(); ev != "e1" {
+		t.Fatalf("first event = %v, want e1", ev)
+	}
+	if ev := <-sub.Events(); ev != "e2" {
+		t.Fatalf("second event = %v, want e2", ev)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("events channel must be closed after eviction")
+	}
+	// Post-eviction sends fail quietly.
+	if sub.Send("e4") {
+		t.Fatal("send after eviction must report false")
+	}
+	st := h.Stats()
+	if st.Evicted != 1 || st.EventsSent != 2 || st.EventsDropped != 1 || st.Subscribers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCloseUnsubscribes(t *testing.T) {
+	h := NewHub()
+	sub, err := h.Subscribe(Interest{Subjects: []string{"x", "x"}}, 1) // dup subject deduped
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	if n := h.Notify([]Touch{{Subject: "x"}}); n != 0 {
+		t.Fatalf("Notify after close marked %d, want 0", n)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("events channel must be closed")
+	}
+	if sub.Evicted() {
+		t.Fatal("a deliberate close is not an eviction")
+	}
+	st := h.Stats()
+	if st.Subscribers != 0 || st.Closed != 1 || st.Subscribed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	a, _ := h.Subscribe(Interest{All: true}, 1)
+	b, _ := h.Subscribe(Interest{Subjects: []string{"x"}}, 1)
+	h.Close()
+	for _, sub := range []*Sub{a, b} {
+		select {
+		case <-sub.Done():
+		default:
+			t.Fatal("Done must be closed after hub close")
+		}
+	}
+	if _, err := h.Subscribe(Interest{All: true}, 1); err != ErrClosed {
+		t.Fatalf("Subscribe after close = %v, want ErrClosed", err)
+	}
+	if n := h.Notify([]Touch{{Subject: "x"}}); n != 0 {
+		t.Fatalf("Notify after close marked %d, want 0", n)
+	}
+}
+
+func TestKindMask(t *testing.T) {
+	if m := KindMask(); m != 0 {
+		t.Fatalf("empty mask = %d, want 0", m)
+	}
+	if m := KindMask(0, 2); m != 0b101 {
+		t.Fatalf("mask = %b, want 101", m)
+	}
+	if m := KindMask(-1, 64); m != 0 {
+		t.Fatalf("out-of-range ordinals must be ignored, got %b", m)
+	}
+}
+
+// TestConcurrentNotifySendClose is the -race assertion: subscriptions churn
+// while notifies and sends race against closes and evictions.
+func TestConcurrentNotifySendClose(t *testing.T) {
+	h := NewHub()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // notifier
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Notify([]Touch{{Subject: fmt.Sprintf("s%d", i%8), Kind: i % 3}})
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // subscriber churn
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sub, err := h.Subscribe(Interest{Subjects: []string{fmt.Sprintf("s%d", i%8)}}, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sub.Kick()
+				select {
+				case <-sub.Signal():
+					sub.TakeDirty()
+					sub.Send(i)
+					sub.Send(i) // may evict; both outcomes fine
+					sub.Send(i)
+				case <-sub.Done():
+				}
+				sub.Close()
+				for range sub.Events() {
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.AfterFunc(2*time.Second, func() { close(stop) })
+	// Subscriber churn finishes on its own; the notifier stops on the timer.
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("goroutines did not finish")
+	}
+	if st := h.Stats(); st.Subscribers != 0 {
+		t.Fatalf("leaked %d subscribers", st.Subscribers)
+	}
+}

@@ -22,6 +22,13 @@
 #       memory-only serving (healthz reports it), keeps answering audits, and
 #       restores durable mode once writes succeed again.
 #
+#   ./scripts/smoke.sh stream     streaming leg: serve durable with a rate
+#       limit, subscribe a raw SSE watcher over GET /v1/watch, replay agent
+#       churn with `indaas loadgen` (whose own watch probe must see re-audit
+#       notifications), and assert the SSE watcher streamed re-audits, the
+#       429 path throttled at least once, the delta engine kept re-audits
+#       incremental, and computations stayed far below ingested records.
+#
 # The daemon is always reaped on exit — success, failure, or signal — and
 # every HTTP call carries a timeout, so a hung leg fails fast with the
 # server log tail instead of leaving an orphan process. Requires curl + jq.
@@ -279,4 +286,53 @@ if [ "$MODE" = chaos ]; then
     exit 0
 fi
 
-die "unknown mode $MODE (want base, restart or chaos)"
+if [ "$MODE" = stream ]; then
+    DATA="$TMP/data"
+    # The admission cap sits below the loadgen target so the 429/Retry-After
+    # path is exercised and the fleet self-paces down to it.
+    start_daemon -data-dir "$DATA" -ingest-rate 3000
+
+    # Raw SSE watcher on the HTTP surface: deployment "a" sits in the
+    # churned part of the fleet, "b" on quiet servers (loadgen's probe owns
+    # the first four and only ever flaps srv0_0_0) — so every re-audit has a
+    # clean deployment to splice against and stays incremental.
+    SSE_LOG="$TMP/sse.log"
+    SPEC='{"title":"smoke sse","deployments":[{"name":"a","servers":["srv1_0_0","srv1_0_1"]},{"name":"b","servers":["srv0_1_0","srv0_1_1"]}]}'
+    curl -sN --max-time 120 --get --data-urlencode "spec=$SPEC" "$BASE/v1/watch" > "$SSE_LOG" &
+    SSE_PID=$!
+
+    # loadgen exits non-zero when no records land or its watch probe never
+    # receives a re-audit notification.
+    "$TMP/indaas" loadgen -server "$BASE" -k 4 -rate 6000 -duration 4s -seed 7 > "$TMP/loadgen.out" 2>&1 ||
+        { cat "$TMP/loadgen.out" >&2; die "loadgen failed"; }
+    cat "$TMP/loadgen.out"
+
+    kill "$SSE_PID" 2>/dev/null || true
+    wait "$SSE_PID" 2>/dev/null || true
+    SSE_EVENTS=$(grep -c '^event: report' "$SSE_LOG" || true)
+    [ "$SSE_EVENTS" -ge 2 ] || die "SSE watcher saw $SSE_EVENTS report frames, want the initial report plus re-audits"
+    grep -q '"report":{' "$SSE_LOG" || die "SSE frames carried no report payload"
+
+    INGESTED=$(metric auditd_depdb_ingested_records_total)
+    COMPUTATIONS=$(metric auditd_computations_total)
+    HITS=$(metric auditd_delta_hits_total)
+    PARTIAL=$(metric auditd_delta_partial_total)
+    THROTTLED=$(metric auditd_depdb_throttled_total)
+    REAUDITS=$(metric auditd_watch_reaudits_total)
+    echo "smoke stream: ingested=$INGESTED computations=$COMPUTATIONS delta_hits=$HITS delta_partial=$PARTIAL throttled=$THROTTLED reaudits=$REAUDITS"
+
+    [ "$((HITS + PARTIAL))" -ge 1 ] || die "no re-audit stayed incremental (hits=$HITS partial=$PARTIAL)"
+    # The majority of triggered re-audits must reuse an ancestor (each
+    # watcher's very first audit is necessarily cold).
+    [ "$(((HITS + PARTIAL) * 2))" -gt "$REAUDITS" ] ||
+        die "only $((HITS + PARTIAL)) of $REAUDITS re-audits were incremental"
+    [ "$THROTTLED" -ge 1 ] || die "the rate limit never throttled despite loadgen outrunning -ingest-rate"
+    [ "$((COMPUTATIONS * 20))" -lt "$INGESTED" ] ||
+        die "computations ($COMPUTATIONS) not far below ingested records ($INGESTED)"
+    [ "$(metric auditd_watch_subscriptions_total)" -ge 2 ] || die "watch subscriptions metric missed the SSE + probe watchers"
+
+    echo "smoke OK: SSE watcher streamed $SSE_EVENTS report frames under churn; re-audits stayed incremental; 429 self-pacing engaged"
+    exit 0
+fi
+
+die "unknown mode $MODE (want base, restart, chaos or stream)"
