@@ -12,6 +12,7 @@ import (
 	"indaas/internal/agentsim"
 	"indaas/internal/auditd"
 	"indaas/internal/deps"
+	"indaas/internal/telemetry"
 )
 
 // cmdLoadgen replays a simulated agent fleet's dependency churn against a
@@ -192,6 +193,13 @@ func cmdLoadgen(args []string) error {
 	if re := m["auditd_watch_reaudits_total"]; re > 0 {
 		fmt.Printf("loadgen: incremental re-audits %.0f/%.0f (%.0f%%)\n",
 			hits+partial, re, 100*(hits+partial)/re)
+	}
+	// The daemon's own ingest→notify histogram measures dirty-mark to
+	// event-queued inside the process — the client-side probe numbers above
+	// minus SSE delivery — so a gap between the two is network/decode time.
+	if h, ok := telemetry.ParseHistogram(raw, "auditd_ingest_notify_seconds"); ok && h.Count() > 0 {
+		fmt.Printf("loadgen: daemon-side ingest→notify over %d samples p50=%v p99=%v\n",
+			h.Count(), h.Quantile(0.50).Round(10*time.Microsecond), h.Quantile(0.99).Round(10*time.Microsecond))
 	}
 
 	if stats.Records == 0 {

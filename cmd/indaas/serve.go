@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -15,6 +16,7 @@ import (
 	"indaas/internal/depdb"
 	"indaas/internal/faultinject"
 	"indaas/internal/store"
+	"indaas/internal/telemetry"
 )
 
 // cmdServe runs the always-on audit service (§5 as a daemon): an HTTP/JSON
@@ -41,7 +43,14 @@ func cmdServe(args []string) error {
 	ingestRate := fs.Float64("ingest-rate", 0, "admission cap on /v1/depdb in records/second; excess ingests get 429 + Retry-After (0 = unlimited)")
 	ingestBurst := fs.Float64("ingest-burst", 0, "ingest token bucket depth in records (0 = one second of -ingest-rate)")
 	watchBuffer := fs.Int("watch-buffer", 0, "per-subscriber watch event queue; overflowing subscribers are evicted (0 = default 16)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error (debug includes /metrics and /healthz scrapes)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	debugAddr := fs.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled); serves /debug/pprof/ only, keep it private")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	chaos, err := faultinject.ParseSpec(*chaosSpec)
@@ -49,7 +58,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	if *chaosSpec != "" {
-		fmt.Printf("indaas: CHAOS MODE: injecting faults (%s)\n", *chaosSpec)
+		log.Warn("CHAOS MODE: injecting faults", "spec", *chaosSpec)
 	}
 	var db *depdb.DB
 	if *depsPath != "" {
@@ -73,12 +82,12 @@ func cmdServe(args []string) error {
 		}
 		defer st.Close()
 		if rec := st.Recovery(); rec.TruncatedBytes > 0 {
-			fmt.Printf("indaas: store recovery dropped a torn tail of %d bytes (%d entries intact)\n",
-				rec.TruncatedBytes, rec.Entries)
+			log.Warn("store recovery dropped a torn tail",
+				"truncated_bytes", rec.TruncatedBytes, "entries_intact", rec.Entries)
 		}
 		if rec := st.Recovery(); rec.QuarantinedBytes > 0 {
-			fmt.Printf("indaas: store recovery quarantined %d corrupt bytes in %d range(s); intact entries kept\n",
-				rec.QuarantinedBytes, rec.QuarantinedRanges)
+			log.Warn("store recovery quarantined corrupt bytes; intact entries kept",
+				"quarantined_bytes", rec.QuarantinedBytes, "ranges", rec.QuarantinedRanges)
 		}
 		restored, err := auditd.RestoreDB(st)
 		if err != nil {
@@ -90,7 +99,7 @@ func cmdServe(args []string) error {
 			// that era — so it wins over the preload to keep fingerprints
 			// stable across restarts.
 			if db != nil {
-				fmt.Printf("indaas: persisted DepDB snapshot (%d records) supersedes -deps preload\n", restored.Len())
+				log.Info("persisted DepDB snapshot supersedes -deps preload", "records", restored.Len())
 			}
 			db = restored
 		}
@@ -120,7 +129,7 @@ func cmdServe(args []string) error {
 		if n, err := svc.RecoverJobs(); err != nil {
 			return fmt.Errorf("recovering journaled jobs: %w", err)
 		} else if n > 0 {
-			fmt.Printf("indaas: re-enqueued %d journaled job(s) from a previous run\n", n)
+			log.Info("re-enqueued journaled job(s) from a previous run", "jobs", n)
 		}
 	}
 	ln, err := net.Listen("tcp", *listen)
@@ -128,7 +137,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler: svc.Handler(),
+		Handler: telemetry.LogRequests(log, svc.Handler()),
 		// Slow-loris protection. No WriteTimeout: status long-polls hold the
 		// response open for up to a minute by design.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -137,14 +146,35 @@ func cmdServe(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	detail := ""
+	// The pprof server binds its own (private) address rather than the API
+	// one: profiling endpoints expose heap contents and must never be
+	// reachable wherever the audit API is.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		defer debugSrv.Close()
+		go debugSrv.Serve(dln)
+		log.Info("pprof debug server listening", "addr", dln.Addr().String())
+	}
+	fields := []any{"addr", "http://" + ln.Addr().String()}
 	if db != nil {
-		detail = fmt.Sprintf(" (%d preloaded records)", db.Len())
+		fields = append(fields, "preloaded_records", db.Len())
 	}
 	if st != nil {
-		detail += fmt.Sprintf(" [durable: %d stored entries]", st.Len())
+		fields = append(fields, "durable", true, "stored_entries", st.Len())
 	}
-	fmt.Printf("indaas audit service on http://%s%s\n", ln.Addr(), detail)
+	log.Info("indaas audit service listening", fields...)
+	// Keep the plain stdout line: scripts (and humans) grep for it.
+	fmt.Printf("indaas audit service on http://%s\n", ln.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -153,7 +183,7 @@ func cmdServe(args []string) error {
 		return err
 	case <-sig:
 	}
-	fmt.Println("indaas: shutting down; draining in-flight jobs")
+	log.Info("shutting down; draining in-flight jobs", "grace", grace.String())
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	httpSrv.Shutdown(ctx)

@@ -36,6 +36,7 @@ import (
 	"indaas/internal/report"
 	"indaas/internal/sia"
 	"indaas/internal/store"
+	"indaas/internal/telemetry"
 	"indaas/internal/watch"
 )
 
@@ -144,6 +145,12 @@ type computation struct {
 	// lineage index so later submissions against a grown database can reuse
 	// it (see delta.go).
 	reg *lineageReg
+	// trace records the computation's pipeline phases; it is carried down to
+	// sia/riskgroup/delta through the computation context. queueDone closes
+	// the queue-wait phase when a worker picks the computation up. Both are
+	// nil only for hit-path jobs, which never reach a worker.
+	trace     *telemetry.Trace
+	queueDone func()
 }
 
 // job is one client submission.
@@ -178,6 +185,10 @@ type job struct {
 	journaled bool
 	// recovered marks a job replayed from the journal after a crash.
 	recovered bool
+	// trace is the attached computation's phase trace (shared by every
+	// coalesced job); nil for jobs served from a cache/disk/delta hit, so
+	// the hit path allocates nothing for telemetry.
+	trace *telemetry.Trace
 }
 
 func (j *job) terminal() bool {
@@ -230,6 +241,9 @@ type Server struct {
 	// tracks their refresher goroutines (see watch.go).
 	watchHub *watch.Hub
 	watchWG  sync.WaitGroup
+
+	// began anchors auditd_uptime_seconds and /healthz's uptime field.
+	began time.Time
 }
 
 // New starts a service with cfg's worker pool running. Callers own the HTTP
@@ -251,6 +265,7 @@ func New(cfg Config) *Server {
 		breaker:  newBreaker(cfg.StoreFailureThreshold, cfg.StoreRetryInterval, cfg.Now),
 		ingestCh: make(chan *ingestWaiter, maxIngestGroup),
 		watchHub: watch.NewHub(),
+		began:    time.Now(),
 	}
 	s.ingestLimit = newTokenBucket(cfg.IngestRate, cfg.IngestBurst, cfg.Now)
 	if s.store != nil {
@@ -420,6 +435,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		j.started, j.finished = j.submitted, j.submitted
 		j.result = retitle(extra.adopt, j.title)
 		close(j.done)
+		s.m.jobDuration.Observe(0) // served within the submit call
 		s.m.deltaHits.Add(1)
 		if extra.reg != nil {
 			extra.reg.entry.resultKey = key
@@ -497,6 +513,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		j.started, j.finished = j.submitted, j.submitted
 		j.result = retitle(res, j.title)
 		close(j.done)
+		s.m.jobDuration.Observe(time.Since(j.submitted)) // ≈0 in memory; the disk probe for disk hits
 		if diskHit {
 			s.m.storeHits.Add(1)
 		} else {
@@ -527,19 +544,28 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 		j.deltaHit = extra.partial
 		j.dirtySubjects = extra.dirty
 		j.comp = comp
+		j.trace = comp.trace
 		comp.jobs = append(comp.jobs, j)
 		comp.refs++
 		s.m.coalesced.Add(1)
 	} else {
-		cctx, cancel := context.WithCancel(s.baseCtx)
+		// A computation will actually run: this is the only path that pays
+		// for a trace. Backdating it to the submission instant puts the
+		// journal write and queue time inside queue-wait instead of leaving
+		// an unaccounted gap before the first phase.
+		tr := telemetry.NewAt(j.submitted)
+		j.trace = tr
+		cctx, cancel := context.WithCancel(telemetry.WithTrace(s.baseCtx, tr))
 		comp := &computation{
-			key:    key,
-			ctx:    cctx,
-			cancel: cancel,
-			run:    run,
-			jobs:   []*job{j},
-			refs:   1,
-			reg:    extra.reg,
+			key:       key,
+			ctx:       cctx,
+			cancel:    cancel,
+			run:       run,
+			jobs:      []*job{j},
+			refs:      1,
+			reg:       extra.reg,
+			trace:     tr,
+			queueDone: tr.StartAt("queue-wait", j.submitted),
 		}
 		select {
 		case s.queue <- comp:
@@ -636,6 +662,9 @@ func (s *Server) runComputation(comp *computation) {
 	s.mu.Lock()
 	if comp.ctx.Err() != nil || comp.refs == 0 {
 		// Canceled while queued: discard without running.
+		if comp.queueDone != nil {
+			comp.queueDone() // don't leave the phase open on the dead trace
+		}
 		s.finishLocked(comp, nil, comp.ctx.Err())
 		s.mu.Unlock()
 		return
@@ -643,6 +672,10 @@ func (s *Server) runComputation(comp *computation) {
 	comp.running = true
 	label := "job " + comp.jobs[0].id // first attached job; fixed for the computation's life
 	now := time.Now()
+	if comp.queueDone != nil {
+		comp.queueDone()
+		s.m.queueWait.Observe(now.Sub(comp.jobs[0].submitted))
+	}
 	for _, j := range comp.jobs {
 		if !j.terminal() {
 			j.state = StateRunning
@@ -654,7 +687,9 @@ func (s *Server) runComputation(comp *computation) {
 
 	s.m.busyWorkers.Add(1)
 	s.m.computations.Add(1)
+	computeStart := time.Now()
 	res, err := s.execute(comp)
+	s.m.compute.Observe(time.Since(computeStart))
 	s.m.busyWorkers.Add(-1)
 
 	// Write through to the disk store BEFORE any waiter observes "done": a
@@ -662,7 +697,12 @@ func (s *Server) runComputation(comp *computation) {
 	// and must still find the result after restart.
 	var evicted []string
 	if err == nil && res != nil {
+		endPersist := func() {}
+		if s.store != nil {
+			endPersist = comp.trace.Start("persist")
+		}
 		evicted = s.persistResult(label, comp.key, res)
+		endPersist()
 	}
 
 	s.mu.Lock()
@@ -719,6 +759,7 @@ func (s *Server) finishLocked(comp *computation, res any, err error) {
 		}
 		j.finished = now
 		j.comp = nil
+		s.m.jobDuration.Observe(now.Sub(j.submitted))
 		switch {
 		case err == nil:
 			j.state = StateDone
@@ -929,7 +970,54 @@ func (s *Server) Stats() Stats {
 
 		JobsRecovered: s.m.jobsRecovered.Load(),
 		WorkerPanics:  s.m.workerPanics.Load(),
+
+		JobDuration:  s.m.jobDuration.Snapshot(),
+		QueueWait:    s.m.queueWait.Snapshot(),
+		Compute:      s.m.compute.Snapshot(),
+		IngestCommit: s.m.ingestCommit.Snapshot(),
+		IngestNotify: s.m.ingestNotify.Snapshot(),
+
+		Uptime:  time.Since(s.began),
+		Runtime: telemetry.ReadRuntime(),
+		Build:   telemetry.ReadBuild(),
 	}
+}
+
+// Trace returns a job's phase timeline and pipeline counts. Jobs served
+// from a cache, disk, or delta hit never ran a computation and have no
+// phases; they return an empty timeline rather than an error.
+func (s *Server) Trace(id string) (TraceResponse, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return TraceResponse{}, &statusErr{code: 404, err: fmt.Errorf("unknown job %q", id)}
+	}
+	resp := TraceResponse{ID: j.id, State: j.state}
+	elapsed := time.Since(j.submitted)
+	if !j.finished.IsZero() {
+		elapsed = j.finished.Sub(j.submitted)
+	}
+	resp.ElapsedNS = elapsed.Nanoseconds()
+	tr := j.trace
+	s.mu.Unlock()
+	// Snapshotting takes the trace's own lock; do it outside s.mu.
+	resp.Phases = tr.Snapshot()
+	resp.Counts = tr.Counts()
+	return resp, nil
+}
+
+// appendJobSpan records a phase onto a settled job's trace after the fact —
+// the watch refresher uses it to attach the notify span once the
+// notification event is queued. Unknown or traceless jobs no-op.
+func (s *Server) appendJobSpan(id, name string, start time.Time, d time.Duration) {
+	s.mu.Lock()
+	var tr *telemetry.Trace
+	if j := s.jobs[id]; j != nil {
+		tr = j.trace
+	}
+	s.mu.Unlock()
+	tr.Span(name, start, d)
 }
 
 // StoreGC applies the persistent store's size/age eviction policy now and
@@ -1044,6 +1132,10 @@ func (j *job) statusLocked() JobStatus {
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
+	}
+	if j.trace != nil {
+		st.Trace = j.trace.Snapshot()
+		st.TraceCounts = j.trace.Counts()
 	}
 	return st
 }

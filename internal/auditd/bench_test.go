@@ -55,6 +55,32 @@ func BenchmarkSubmitMemoryHit(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitMemoryHitTraced is the telemetry-era twin of
+// BenchmarkSubmitMemoryHit: same hot path, now with phase tracing threaded
+// through the pipeline. It must match the untraced numbers (≤80 allocs/op,
+// enforced by TestMemoryHitAllocBudget) because hit-path jobs never
+// allocate a trace — tracing costs are deferred until a computation runs.
+func BenchmarkSubmitMemoryHitTraced(b *testing.B) {
+	s, req := benchServer(b, Config{Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last JobStatus
+	for i := 0; i < b.N; i++ {
+		st, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != StateDone || !st.Cached {
+			b.Fatalf("want cached done, got %+v", st)
+		}
+		last = st
+	}
+	b.StopTimer()
+	if tr, err := s.Trace(last.ID); err != nil || len(tr.Phases) != 0 {
+		b.Fatalf("hit-path job grew a trace: %+v (err %v)", tr.Phases, err)
+	}
+}
+
 // BenchmarkSubmitDiskHit measures the disk-tier fallback: the in-memory LRU
 // is emptied before every submit, so each iteration pays the store read,
 // checksum verification and JSON decode a restarted daemon pays on its
@@ -88,7 +114,7 @@ func BenchmarkSubmitDiskHit(b *testing.B) {
 // of a 2-way deployment on a k-port fat tree — the Fig. 7 workload — and
 // returns it with the deployment's audit request (minimal-rg, the exact
 // algorithm the paper times).
-func fig7Server(b *testing.B, k int) (*Server, *SubmitRequest) {
+func fig7Server(b testing.TB, k int, cfg Config) (*Server, *SubmitRequest) {
 	b.Helper()
 	ft, err := topology.FatTree(k)
 	if err != nil {
@@ -102,7 +128,10 @@ func fig7Server(b *testing.B, k int) (*Server, *SubmitRequest) {
 	if err := auditor.Acquire(servers...); err != nil {
 		b.Fatal(err)
 	}
-	s := New(Config{Workers: 1})
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	s := New(cfg)
 	b.Cleanup(func() { benchShutdown(b, s) })
 	if _, err := s.Ingest(&IngestRequest{Records: WireRecords(auditor.DB().Records())}); err != nil {
 		b.Fatal(err)
@@ -121,7 +150,7 @@ func fig7Server(b *testing.B, k int) (*Server, *SubmitRequest) {
 // which must finish instantly as a lineage hit. Compare against
 // BenchmarkFig7ColdAudit, the price every such ingest used to cost.
 func BenchmarkFig7DeltaResubmit(b *testing.B) {
-	s, req := fig7Server(b, 16)
+	s, req := fig7Server(b, 16, Config{})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 	cold, err := s.Submit(req)
@@ -152,7 +181,7 @@ func BenchmarkFig7DeltaResubmit(b *testing.B) {
 // BenchmarkFig7ColdAudit is the delta benchmark's baseline: the full k=16
 // minimal-RG computation a delta hit avoids.
 func BenchmarkFig7ColdAudit(b *testing.B) {
-	s, req := fig7Server(b, 16)
+	s, req := fig7Server(b, 16, Config{})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 	b.ResetTimer()

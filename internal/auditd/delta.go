@@ -24,6 +24,7 @@ package auditd
 import (
 	"context"
 	"fmt"
+	"indaas/internal/telemetry"
 
 	"indaas/internal/depdb"
 	"indaas/internal/deps"
@@ -343,6 +344,8 @@ func (s *Server) retrieveResult(key string) (any, bool) {
 // snapshots (that is what clean means), so the spliced report matches the
 // full recompute byte for byte.
 func spliceAudit(ctx context.Context, db depdb.Reader, specs []sia.GraphSpec, opts sia.Options, old *report.Report, dirty []bool) (*report.Report, error) {
+	tr := telemetry.FromContext(ctx)
+	defer tr.Start("splice")()
 	pool := make(map[string][]report.DeploymentAudit, len(old.Audits))
 	for _, a := range old.Audits {
 		id := auditIdentity(a.Deployment, a.Sources)
@@ -355,12 +358,15 @@ func spliceAudit(ctx context.Context, db depdb.Reader, specs []sia.GraphSpec, op
 			if as := pool[id]; len(as) > 0 {
 				rep.Audits = append(rep.Audits, as[0])
 				pool[id] = as[1:]
+				tr.Add("subjects_spliced", 1)
 				continue
 			}
 			// Defensive: the ancestor should always carry a clean spec's
 			// audit; recompute rather than fail if it somehow does not.
 		}
+		endBuild := tr.Start("graph-build")
 		g, err := sia.BuildGraph(db, spec)
+		endBuild()
 		if err != nil {
 			return nil, err
 		}

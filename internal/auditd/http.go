@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
+
+	"indaas/internal/telemetry"
 )
 
 // maxRequestBody bounds submit bodies (inline record sets included) at 32 MiB.
@@ -22,6 +25,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/audits", s.handleList)
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/audits/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/audits/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCached)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -78,6 +83,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	telemetry.AnnotateJob(r, st.ID)
 	code := 202 // accepted, result pending
 	if st.State == StateDone {
 		code = 200 // cache hit: already answered
@@ -97,6 +103,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	telemetry.AnnotateJob(r, st.ID)
 	code := 202
 	if st.State == StateDone {
 		code = 200 // cache hit: already answered
@@ -146,12 +153,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		wait = d
 	}
+	telemetry.AnnotateJob(r, r.PathValue("id"))
 	st, err := s.WaitDone(r.Context(), r.PathValue("id"), wait)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, 200, st)
+}
+
+// handleTrace returns a job's phase timeline as JSON (GET
+// /v1/jobs/{id}/trace, also mounted under /v1/audits for symmetry with the
+// other job endpoints).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	telemetry.AnnotateJob(r, r.PathValue("id"))
+	resp, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, resp)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -194,15 +215,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // daemon is alive and answering, just not durable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		OK             bool   `json:"ok"`
-		Status         string `json:"status"`
-		Durable        bool   `json:"durable"`
-		DegradedReason string `json:"degraded_reason,omitempty"`
-		StoreErrors    int64  `json:"store_errors,omitempty"`
-		DBRecords      int    `json:"db_records"`
-		DBFingerprint  string `json:"db_fingerprint,omitempty"`
+		OK             bool    `json:"ok"`
+		Status         string  `json:"status"`
+		Durable        bool    `json:"durable"`
+		DegradedReason string  `json:"degraded_reason,omitempty"`
+		StoreErrors    int64   `json:"store_errors,omitempty"`
+		DBRecords      int     `json:"db_records"`
+		DBFingerprint  string  `json:"db_fingerprint,omitempty"`
+		Uptime         float64 `json:"uptime"` // seconds since start
+		Goroutines     int     `json:"goroutines"`
 	}
-	h := health{OK: true, Status: "ok", Durable: s.store != nil}
+	h := health{
+		OK: true, Status: "ok", Durable: s.store != nil,
+		Uptime:     time.Since(s.began).Seconds(),
+		Goroutines: runtime.NumGoroutine(),
+	}
 	if s.store != nil {
 		if deg, reason := s.breaker.degraded(); deg {
 			h.Status = "degraded"

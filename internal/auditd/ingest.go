@@ -3,6 +3,7 @@ package auditd
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"indaas/internal/depdb"
 	"indaas/internal/deps"
@@ -146,6 +147,7 @@ func (s *Server) ingestCommitter() {
 // the memory database is untouched and every waiter gets 503 — each client
 // can safely retry, exactly as with per-request commits.
 func (s *Server) commitGroup(group []*ingestWaiter) {
+	commitStart := time.Now()
 	n := 0
 	for _, w := range group {
 		n += len(w.records)
@@ -232,4 +234,5 @@ func (s *Server) commitGroup(group []*ingestWaiter) {
 		}
 		close(w.done)
 	}
+	s.m.ingestCommit.Observe(time.Since(commitStart))
 }

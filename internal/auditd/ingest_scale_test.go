@@ -9,7 +9,7 @@ import (
 	"indaas/internal/store"
 )
 
-func benchShutdown(b *testing.B, s *Server) {
+func benchShutdown(b testing.TB, s *Server) {
 	b.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()

@@ -3,9 +3,12 @@ package auditd
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"indaas/internal/store"
+	"indaas/internal/telemetry"
 )
 
 // metrics holds the service counters, updated atomically so the /metrics
@@ -39,6 +42,14 @@ type metrics struct {
 
 	jobsRecovered atomic.Int64 // journaled jobs re-enqueued at boot
 	workerPanics  atomic.Int64 // workload panics isolated to their own job
+
+	// Latency histograms (lock-free; Observe is two atomic adds). Store
+	// put/get latencies live in store.Stats, next to the data they time.
+	jobDuration  telemetry.Histogram // submission → completion, every serve path
+	queueWait    telemetry.Histogram // submission → worker pickup (computed jobs)
+	compute      telemetry.Histogram // worker time inside the run closure
+	ingestCommit telemetry.Histogram // ingest group commit (persist + apply + notify)
+	ingestNotify telemetry.Histogram // ingest dirtying a watch → event queued
 }
 
 // Stats is a point-in-time snapshot of the service counters, exported for
@@ -105,6 +116,20 @@ type Stats struct {
 	// WorkerPanics counts workload panics isolated to their own job.
 	JobsRecovered int64
 	WorkerPanics  int64
+
+	// Latency distributions (see the metrics struct for phase boundaries).
+	JobDuration  telemetry.HistogramSnapshot
+	QueueWait    telemetry.HistogramSnapshot
+	Compute      telemetry.HistogramSnapshot
+	IngestCommit telemetry.HistogramSnapshot
+	IngestNotify telemetry.HistogramSnapshot
+
+	// Uptime, Runtime, and Build describe the process itself for the
+	// auditd_uptime_seconds / auditd_goroutines / auditd_heap_bytes /
+	// auditd_gc_pause_seconds_total / auditd_build_info samples.
+	Uptime  time.Duration
+	Runtime telemetry.RuntimeStats
+	Build   telemetry.BuildInfo
 }
 
 // HitRate is the fraction of accepted jobs that did not need their own
@@ -125,6 +150,19 @@ func (s Stats) render(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	fcounter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	hist := func(name, help string, h telemetry.HistogramSnapshot) {
+		h.WritePrometheus(w, name, help)
+	}
+	fmt.Fprintf(w, "# HELP auditd_build_info Build identity of the running binary (value is always 1).\n"+
+		"# TYPE auditd_build_info gauge\nauditd_build_info{go_version=%q,revision=%q} 1\n",
+		s.Build.GoVersion, s.Build.Revision)
+	gauge("auditd_uptime_seconds", "Seconds since the service started.", strconv.FormatFloat(s.Uptime.Seconds(), 'g', -1, 64))
+	gauge("auditd_goroutines", "Goroutines in the process.", s.Runtime.Goroutines)
+	gauge("auditd_heap_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).", s.Runtime.HeapBytes)
+	fcounter("auditd_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", s.Runtime.GCPauseTotal.Seconds())
 	counter("auditd_jobs_submitted_total", "Jobs accepted by the service.", s.Submitted)
 	counter("auditd_jobs_completed_total", "Jobs finished successfully.", s.Completed)
 	counter("auditd_jobs_failed_total", "Jobs finished with an error.", s.Failed)
@@ -155,6 +193,19 @@ func (s Stats) render(w io.Writer) {
 	gauge("auditd_workers_busy", "Workers currently running a computation.", s.BusyWorkers)
 	counter("auditd_jobs_recovered_total", "Journaled jobs re-enqueued at boot after a crash.", s.JobsRecovered)
 	counter("auditd_worker_panics_total", "Workload panics isolated to their own job.", s.WorkerPanics)
+	hist("auditd_job_duration_seconds", "End-to-end job latency from submission to completion, all serve paths.", s.JobDuration)
+	hist("auditd_job_queue_wait_seconds", "Time computations waited for a worker.", s.QueueWait)
+	hist("auditd_job_compute_seconds", "Worker time spent inside run closures.", s.Compute)
+	hist("auditd_ingest_commit_seconds", "Ingest group commit latency (snapshot persist, depdb apply, watch notify).", s.IngestCommit)
+	hist("auditd_ingest_notify_seconds", "Latency from an ingest dirtying a watch subscription to its notification event being queued.", s.IngestNotify)
+	// The degraded gauge renders unconditionally: a dashboard watching an
+	// incident must never see the series vanish because the store flag is
+	// off (memory-only daemons legitimately report 0 forever).
+	degraded := 0
+	if s.Degraded {
+		degraded = 1
+	}
+	gauge("auditd_degraded", "1 while the daemon serves memory-only after store failures.", degraded)
 	if s.StoreEnabled {
 		counter("auditd_store_hits_total", "Jobs answered from the persistent store.", s.StoreHits)
 		counter("auditd_store_puts_total", "Entries written to the persistent store.", s.Store.Puts)
@@ -163,11 +214,8 @@ func (s Stats) render(w io.Writer) {
 		counter("auditd_store_errors_total", "Persist failures; the results stayed in memory.", s.StoreErrors)
 		counter("auditd_store_skipped_writes_total", "Store writes skipped while serving degraded.", s.StoreSkippedWrites)
 		counter("auditd_store_breaker_trips_total", "Times repeated store failures tripped degraded mode.", s.StoreTrips)
-		degraded := 0
-		if s.Degraded {
-			degraded = 1
-		}
-		gauge("auditd_degraded", "1 while the daemon serves memory-only after store failures.", degraded)
+		hist("auditd_store_put_seconds", "Persistent-store Put latency, fsync included.", s.Store.PutLatency)
+		hist("auditd_store_get_seconds", "Persistent-store Get latency.", s.Store.GetLatency)
 		gauge("auditd_store_entries", "Live entries in the persistent store.", s.Store.Entries)
 		gauge("auditd_store_live_bytes", "Bytes of live entries in the persistent store.", s.Store.LiveBytes)
 		gauge("auditd_store_file_bytes", "Persistent-store segment size on disk.", s.Store.FileBytes)

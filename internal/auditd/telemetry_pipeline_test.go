@@ -1,0 +1,376 @@
+package auditd
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"indaas/internal/store"
+	"indaas/internal/telemetry"
+)
+
+// TestColdFig7AuditTrace is the telemetry acceptance check on the paper's
+// Fig. 7 workload: a cold k=16 minimal-RG audit on a durable daemon must
+// leave a trace whose queue-wait, graph-build, minimal-rgs and persist
+// phases account for (nearly) all of the job's end-to-end latency — the
+// whole point of the trace is that an operator looking at a slow job sees
+// where the time went, not an unexplained gap.
+func TestColdFig7AuditTrace(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s, req := fig7Server(t, 16, Config{Workers: 1, Store: st})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	job := mustSubmit(t, s, req)
+	if job.Cached {
+		t.Fatalf("first fig7 audit was a cache hit: %+v", job)
+	}
+	end, err := s.WaitDone(ctx, job.ID, time.Minute)
+	if err != nil || end.State != StateDone {
+		t.Fatalf("cold audit: %v %+v", err, end)
+	}
+
+	tr, err := s.Trace(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != job.ID || tr.State != StateDone {
+		t.Fatalf("trace header = %s/%s, want %s/done", tr.ID, tr.State, job.ID)
+	}
+	byName := map[string]time.Duration{}
+	var phaseSum time.Duration
+	for _, p := range tr.Phases {
+		if p.Running {
+			t.Fatalf("phase %s still running on a settled job", p.Name)
+		}
+		byName[p.Name] += time.Duration(p.DurationNS)
+		phaseSum += time.Duration(p.DurationNS)
+	}
+	for _, want := range []string{"queue-wait", "graph-build", "minimal-rgs", "persist"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("trace lacks phase %q; phases = %+v", want, tr.Phases)
+		}
+	}
+	if tr.Counts["rgs_found"] <= 0 {
+		t.Fatalf("rgs_found = %d, want > 0", tr.Counts["rgs_found"])
+	}
+
+	// The trace is also the job status's timeline.
+	if js, err := s.Status(job.ID); err != nil || len(js.Trace) != len(tr.Phases) {
+		t.Fatalf("JobStatus trace = %d phases (err %v), want %d", len(js.Trace), err, len(tr.Phases))
+	}
+
+	// Acceptance: the phases explain the end-to-end latency. The daemon ran
+	// exactly one job, so the job-duration histogram's sum IS this job's
+	// end-to-end observation.
+	stats := s.Stats()
+	if n := stats.JobDuration.Count(); n != 1 {
+		t.Fatalf("job duration observations = %d, want 1", n)
+	}
+	e2e := stats.JobDuration.Sum
+	if phaseSum > e2e {
+		t.Fatalf("phase sum %v exceeds end-to-end %v", phaseSum, e2e)
+	}
+	if gap := e2e - phaseSum; gap > e2e/10 {
+		t.Fatalf("phases cover %v of %v end-to-end; gap %v > 10%%", phaseSum, e2e, gap)
+	}
+
+	// A repeat submission is a cache hit and must stay traceless: the trace
+	// allocation is deferred until a computation actually runs.
+	hit := mustSubmit(t, s, req)
+	if !hit.Cached || hit.State != StateDone {
+		t.Fatalf("resubmission not a cache hit: %+v", hit)
+	}
+	if htr, err := s.Trace(hit.ID); err != nil || len(htr.Phases) != 0 {
+		t.Fatalf("hit-path trace = %+v (err %v), want empty", htr.Phases, err)
+	}
+}
+
+// TestTraceUnknownJob pins the 404 contract.
+func TestTraceUnknownJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	if _, err := s.Trace("nope"); httpStatus(err) != 404 {
+		t.Fatalf("Trace(unknown) = %v, want 404", err)
+	}
+}
+
+// TestWatchNotifyTelemetry checks the watch-side instrumentation: a
+// re-audit streamed to a subscriber appends a notify span to the re-audit
+// job's trace and lands one observation in the ingest→notify histogram.
+func TestWatchNotifyTelemetry(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	mustIngest(t, s, deltaRecords())
+
+	sub, err := s.Watch(deltaAuditRequest("telemetry"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	nextWatchEvent(t, sub) // initial report
+
+	mustIngest(t, s, []RecordWire{{Kind: "software", Pgm: "etcd", HW: "s3", Deps: []string{"libc6"}}})
+	ev := nextWatchEvent(t, sub)
+	if ev.Job.State != StateDone {
+		t.Fatalf("re-audit event job = %+v", ev.Job)
+	}
+
+	// The histogram observation and the notify span land right after the
+	// event is queued; poll briefly rather than race the refresher.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Stats().IngestNotify.Count() >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingest→notify histogram never observed a sample")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for {
+		tr, err := s.Trace(ev.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range tr.Phases {
+			if p.Name == "notify" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-audit job trace never gained a notify phase: %+v", tr.Phases)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDegradedGaugeWithoutStore pins the fix for the vanished series: a
+// memory-only daemon must still render auditd_degraded (as 0) so dashboards
+// alerting on the gauge never lose it to a config difference.
+func TestDegradedGaugeWithoutStore(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	var b strings.Builder
+	s.Stats().render(&b)
+	if !strings.Contains(b.String(), "\nauditd_degraded 0\n") {
+		t.Fatal("memory-only /metrics lacks the auditd_degraded gauge")
+	}
+	if strings.Contains(b.String(), "auditd_store_hits_total") {
+		t.Fatal("memory-only /metrics renders store counters")
+	}
+}
+
+// expositionSample is one parsed sample line: base metric name (labels and
+// histogram suffixes stripped), the le label if any, and the value.
+type expositionSample struct {
+	base  string // metric family name as declared by # TYPE
+	name  string // full sample name (base + _bucket/_sum/_count for histograms)
+	le    string
+	value float64
+}
+
+// parseExposition splits Prometheus text exposition into # TYPE
+// declarations and samples, attributing each sample to its family.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples []expositionSample) {
+	t.Helper()
+	types = map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "# HELP") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate # TYPE for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unrecognized comment line %q", line)
+		}
+		nameAndLabels, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		smp := expositionSample{value: v}
+		smp.name = nameAndLabels
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			smp.name = nameAndLabels[:i]
+			labels := strings.TrimSuffix(nameAndLabels[i+1:], "}")
+			for _, kv := range strings.Split(labels, ",") {
+				if rest, ok := strings.CutPrefix(kv, "le="); ok {
+					smp.le = strings.Trim(rest, "\"")
+				}
+			}
+		}
+		smp.base = smp.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(smp.name, suf)
+			if trimmed != smp.name && types[trimmed] == "histogram" {
+				smp.base = trimmed
+			}
+		}
+		samples = append(samples, smp)
+	}
+	return types, samples
+}
+
+// TestMetricsExpositionWellFormed exercises every serve path (cold compute,
+// memory hit, ingest) on a durable daemon and then validates the full
+// /metrics exposition: every sample belongs to a declared # TYPE family,
+// histogram buckets are cumulative with _count equal to the +Inf bucket,
+// and every family declared actually has samples.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(Config{Workers: 1, Store: st})
+	defer shutdown(t, s)
+
+	req := quickRequest("exposition")
+	job := mustSubmit(t, s, req)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if end, err := s.WaitDone(ctx, job.ID, 30*time.Second); err != nil || end.State != StateDone {
+		t.Fatalf("cold job: %v %+v", err, end)
+	}
+	mustSubmit(t, s, req) // memory hit → job-duration observation
+	mustIngest(t, s, deltaRecords())
+
+	var b strings.Builder
+	s.Stats().render(&b)
+	types, samples := parseExposition(t, b.String())
+
+	seen := map[string]bool{}
+	for _, smp := range samples {
+		typ, ok := types[smp.base]
+		if !ok {
+			t.Fatalf("sample %s has no # TYPE declaration", smp.name)
+		}
+		seen[smp.base] = true
+		switch typ {
+		case "counter", "gauge":
+			if smp.name != smp.base {
+				t.Fatalf("%s sample %s does not match its family name", typ, smp.name)
+			}
+		case "histogram":
+			switch {
+			case smp.name == smp.base+"_bucket":
+				if smp.le == "" {
+					t.Fatalf("histogram bucket %s lacks an le label", smp.name)
+				}
+			case smp.name == smp.base+"_sum", smp.name == smp.base+"_count":
+			default:
+				t.Fatalf("histogram family %s has stray sample %s", smp.base, smp.name)
+			}
+		default:
+			t.Fatalf("unexpected type %q for %s", typ, smp.base)
+		}
+	}
+	for fam := range types {
+		if !seen[fam] {
+			t.Fatalf("family %s declared but has no samples", fam)
+		}
+	}
+
+	// Histogram invariants, checked per family in exposition order: buckets
+	// cumulative (non-decreasing), +Inf present, and _count == +Inf bucket.
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		var prev, inf float64
+		var count, sum float64
+		var sawInf, sawCount, sawSum bool
+		for _, smp := range samples {
+			if smp.base != fam {
+				continue
+			}
+			switch smp.name {
+			case fam + "_bucket":
+				if smp.value < prev {
+					t.Fatalf("%s buckets not cumulative: le=%s drops to %v", fam, smp.le, smp.value)
+				}
+				prev = smp.value
+				if smp.le == "+Inf" {
+					inf, sawInf = smp.value, true
+				}
+			case fam + "_count":
+				count, sawCount = smp.value, true
+			case fam + "_sum":
+				sum, sawSum = smp.value, true
+			}
+		}
+		if !sawInf || !sawCount || !sawSum {
+			t.Fatalf("%s misses +Inf/_count/_sum (%v/%v/%v)", fam, sawInf, sawCount, sawSum)
+		}
+		if count != inf {
+			t.Fatalf("%s _count %v != +Inf bucket %v", fam, count, inf)
+		}
+		if count > 0 && sum < 0 {
+			t.Fatalf("%s has %v observations but negative sum %v", fam, count, sum)
+		}
+	}
+
+	// The serve paths above must have produced observations.
+	for _, fam := range []string{"auditd_job_duration_seconds", "auditd_job_queue_wait_seconds",
+		"auditd_job_compute_seconds", "auditd_ingest_commit_seconds",
+		"auditd_store_put_seconds"} {
+		if h, ok := telemetry.ParseHistogram(b.String(), fam); !ok || h.Count() == 0 {
+			t.Fatalf("%s has no observations after cold+hit+ingest", fam)
+		}
+	}
+	if !strings.Contains(b.String(), "auditd_build_info{go_version=") {
+		t.Fatal("exposition lacks auditd_build_info")
+	}
+}
+
+// TestMemoryHitAllocBudget is the alloc guard behind
+// BenchmarkSubmitMemoryHitTraced: with tracing threaded through the
+// pipeline, the memory-hit path must still stay within its historical
+// budget because hits never allocate a trace.
+func TestMemoryHitAllocBudget(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	req := quickRequest("allocs")
+	job := mustSubmit(t, s, req)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if end, err := s.WaitDone(ctx, job.ID, 30*time.Second); err != nil || end.State != StateDone {
+		t.Fatalf("priming job: %v %+v", err, end)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		st, err := s.Submit(req)
+		if err != nil || st.State != StateDone || !st.Cached {
+			panic(fmt.Sprintf("not a memory hit: %+v %v", st, err))
+		}
+	})
+	if allocs > 80 {
+		t.Fatalf("memory-hit submit = %.0f allocs/op, budget 80", allocs)
+	}
+}

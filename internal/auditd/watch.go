@@ -179,7 +179,7 @@ func (s *Server) refreshLoop(sub *watch.Sub, req *SubmitRequest) {
 			return
 		case <-sub.Signal():
 		}
-		trigger, kicked := sub.TakeDirty()
+		trigger, kicked, since := sub.TakeDirty()
 		if len(trigger) == 0 && !kicked {
 			continue // the signal raced an earlier drain; nothing owed
 		}
@@ -189,6 +189,16 @@ func (s *Server) refreshLoop(sub *watch.Sub, req *SubmitRequest) {
 			ev.Seq = seq
 			if !sub.Send(ev) {
 				return // evicted: the consumer fell a full buffer behind
+			}
+			// The owed notification is queued: close the ingest→notify
+			// window opened by the oldest drained dirty mark, and stamp the
+			// notify span (job completion → event queued, i.e. the re-audit
+			// poll plus report rendering) onto the job's trace.
+			if !since.IsZero() {
+				s.m.ingestNotify.Observe(time.Since(since))
+			}
+			if ev.Job.FinishedAt != nil {
+				s.appendJobSpan(ev.Job.ID, "notify", *ev.Job.FinishedAt, time.Since(*ev.Job.FinishedAt))
 			}
 		}
 		if fatal {

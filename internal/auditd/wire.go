@@ -10,6 +10,7 @@ import (
 
 	"indaas/internal/deps"
 	"indaas/internal/sia"
+	"indaas/internal/telemetry"
 )
 
 // RecordWire is the JSON form of a deps.Record: a flat tagged union, one
@@ -285,6 +286,25 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Trace is the phase timeline of the job's computation (queue-wait,
+	// graph-build, minimal-rgs, sampling, splice, persist, notify), with
+	// start offsets and durations in nanoseconds relative to submission.
+	// Absent for jobs served from a cache/disk/delta hit — they never ran a
+	// computation. TraceCounts carries pipeline counts (rgs_found,
+	// rounds_sampled, subjects_spliced).
+	Trace       []telemetry.Phase `json:"trace,omitempty"`
+	TraceCounts map[string]int64  `json:"trace_counts,omitempty"`
+}
+
+// TraceResponse is the body of GET /v1/jobs/{id}/trace: the job's phase
+// timeline, pipeline counts, and end-to-end elapsed time (submission to
+// completion, or to now while the job is still active).
+type TraceResponse struct {
+	ID        string            `json:"id"`
+	State     string            `json:"state"`
+	ElapsedNS int64             `json:"elapsed_ns"`
+	Phases    []telemetry.Phase `json:"trace"`
+	Counts    map[string]int64  `json:"counts,omitempty"`
 }
 
 // errorBody is the JSON error envelope.

@@ -3,6 +3,7 @@ package riskgroup
 import (
 	"context"
 	"fmt"
+	"indaas/internal/telemetry"
 	"sort"
 
 	"indaas/internal/faultgraph"
@@ -46,6 +47,8 @@ func MinimalRGs(g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
 // the call returns ctx.Err() (wrapped with the event being expanded) and
 // discards all partial families. A nil result always accompanies the error.
 func MinimalRGsContext(cctx context.Context, g *faultgraph.Graph, opts MinimalOptions) ([]RG, error) {
+	tr := telemetry.FromContext(cctx)
+	defer tr.Start("minimal-rgs")()
 	ctx := newMinCtx(g.NumBasics())
 	ctx.cctx = cctx
 	families := make([][]brg, g.Len())
@@ -129,7 +132,9 @@ func MinimalRGsContext(cctx context.Context, g *faultgraph.Graph, opts MinimalOp
 		return nil, ctx.cancelErr
 	}
 	sortBrgs(top)
-	return graphIndexer{g: g}.toFamily(top), nil
+	out := graphIndexer{g: g}.toFamily(top)
+	tr.Add("rgs_found", int64(len(out)))
+	return out, nil
 }
 
 func childFamilies(families [][]brg, children []faultgraph.NodeID) [][]brg {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"indaas/internal/telemetry"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -104,6 +105,9 @@ func (s Sampler) SampleContext(ctx context.Context, g *faultgraph.Graph) ([]RG, 
 		workers = s.Rounds
 	}
 
+	tr := telemetry.FromContext(ctx)
+	defer tr.Start("sampling")()
+
 	// Worker w samples ceil((Rounds−w)/workers) rounds from generator
 	// Seed+w: the rounds a striped n≡w (mod workers) split would assign it.
 	// Growing Rounds with (Seed, Workers) fixed only extends each worker's
@@ -150,6 +154,8 @@ func (s Sampler) SampleContext(ctx context.Context, g *faultgraph.Graph) ([]RG, 
 		out = minimizeFamily(graphIndexer{g: g}, out)
 	}
 	sortFamily(out)
+	tr.Add("rounds_sampled", int64(s.Rounds))
+	tr.Add("rgs_found", int64(len(out)))
 	return out, nil
 }
 

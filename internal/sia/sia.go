@@ -7,6 +7,7 @@ package sia
 import (
 	"context"
 	"fmt"
+	"indaas/internal/telemetry"
 	"math"
 	"time"
 
@@ -310,9 +311,12 @@ func AuditDeploymentsContext(ctx context.Context, db depdb.Reader, title string,
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sia: no deployments to audit")
 	}
+	tr := telemetry.FromContext(ctx)
 	rep := &report.Report{Title: title}
 	for _, spec := range specs {
+		endBuild := tr.Start("graph-build")
 		g, err := BuildGraph(db, spec)
+		endBuild()
 		if err != nil {
 			return nil, err
 		}

@@ -35,6 +35,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"indaas/internal/telemetry"
 )
 
 // Kind tags what an entry holds, so `indaas store ls` and eviction can tell
@@ -161,6 +163,11 @@ type Stats struct {
 	Evictions   int64
 	Compactions int64
 	Recovery    RecoveryStats
+	// PutLatency and GetLatency are latency distributions over every Put
+	// and Get call (fsync included), for the auditd_store_*_seconds
+	// histograms.
+	PutLatency telemetry.HistogramSnapshot
+	GetLatency telemetry.HistogramSnapshot
 }
 
 // EntryInfo describes one live entry, for `indaas store ls`.
@@ -201,6 +208,11 @@ type Store struct {
 	evictions   int64
 	compactions int64
 	closed      bool
+
+	// Latency histograms are internally atomic and live outside mu so
+	// ObserveSince in Put/Get also captures lock-wait time.
+	putLatency telemetry.Histogram
+	getLatency telemetry.Histogram
 }
 
 // Open opens (or creates) the store in opts.Dir, replaying the segment into
@@ -447,6 +459,7 @@ func encodeRecord(kind Kind, unix int64, key string, val []byte) []byte {
 // keys of entries evicted to keep results within the size/age budget, so the
 // caller can mirror the evictions into its in-memory cache.
 func (s *Store) Put(key string, kind Kind, val []byte) ([]string, error) {
+	defer s.putLatency.ObserveSince(time.Now())
 	if len(key) == 0 || len(key) > 0xFFFF {
 		return nil, fmt.Errorf("store: key length %d out of range", len(key))
 	}
@@ -566,6 +579,7 @@ func (s *Store) syncLocked() error {
 
 // Get returns the value stored under key, verifying its checksum.
 func (s *Store) Get(key string) ([]byte, Kind, bool, error) {
+	defer s.getLatency.ObserveSince(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -653,6 +667,8 @@ func (s *Store) Stats() Stats {
 		Evictions:   s.evictions,
 		Compactions: s.compactions,
 		Recovery:    s.recovery,
+		PutLatency:  s.putLatency.Snapshot(),
+		GetLatency:  s.getLatency.Snapshot(),
 	}
 }
 

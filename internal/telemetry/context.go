@@ -1,0 +1,21 @@
+package telemetry
+
+import "context"
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context so pipeline stages deep in
+// sia/riskgroup/delta code can record phases without explicit plumbing.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the attached trace, or nil (a valid no-op recorder)
+// when none is attached.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bounds grow as
+// 1µs·2^i for i in [0, NumBuckets): 1µs, 2µs, 4µs, ... ≈ 1074s. Anything
+// slower lands in the implicit +Inf bucket.
+const NumBuckets = 31
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// Histogram is a lock-free log-bucketed latency histogram. Observe is a
+// single atomic add per bucket plus one for the sum, so it is safe (and
+// cheap) on hot paths shared by many goroutines. The zero value is ready
+// to use.
+type Histogram struct {
+	buckets  [NumBuckets]atomic.Uint64
+	overflow atomic.Uint64
+	sumNS    atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.sumNS.Add(d.Nanoseconds())
+	// Smallest i with d ≤ 1µs·2^i, via ceil-division to whole microseconds.
+	q := uint64(d+time.Microsecond-1) / uint64(time.Microsecond)
+	var idx int
+	if q > 1 {
+		idx = bits.Len64(q - 1)
+	}
+	if idx >= NumBuckets {
+		h.overflow.Add(1)
+		return
+	}
+	h.buckets[idx].Add(1)
+}
+
+// ObserveSince records the time elapsed since start, for use as a one-line
+// defer at the top of an instrumented function.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets in the
+// snapshot are per-bucket counts (not cumulative); rendering makes them
+// cumulative as Prometheus requires.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Overflow = h.overflow.Load()
+	s.Sum = time.Duration(h.sumNS.Load())
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram's state, used both
+// for /metrics rendering and for client-side analysis of scraped text.
+type HistogramSnapshot struct {
+	Buckets  [NumBuckets]uint64
+	Overflow uint64
+	Sum      time.Duration
+}
+
+// Count returns the total number of observations.
+func (s HistogramSnapshot) Count() uint64 {
+	n := s.Overflow
+	for _, c := range s.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the containing bucket. Samples in the +Inf bucket are credited the
+// largest finite bound; an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := s.Count()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			frac := (rank - prev) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// bucketLabel formats a bucket bound in seconds the way Prometheus clients
+// expect it in the le label.
+func bucketLabel(i int) string {
+	return strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition format:
+// cumulative _bucket{le=...} samples, _sum in seconds, and _count. Empty
+// buckets are skipped (the series stays cumulative without them) but the
+// first and +Inf buckets are always present so scrapers see a well-formed
+// histogram even before any observations.
+func (s HistogramSnapshot) WritePrometheus(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if c == 0 && i > 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, bucketLabel(i), cum)
+	}
+	cum += s.Overflow
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(s.Sum.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// ParseHistogram recovers a snapshot from Prometheus text exposition, the
+// inverse of WritePrometheus. It lets clients (loadgen) report quantiles
+// from the daemon's own histograms rather than re-measuring client-side.
+// Returns false when no samples for the metric appear in the text.
+func ParseHistogram(exposition, name string) (HistogramSnapshot, bool) {
+	bounds := make(map[string]int, NumBuckets)
+	for i := 0; i < NumBuckets; i++ {
+		bounds[bucketLabel(i)] = i
+	}
+	var s HistogramSnapshot
+	cums := make(map[int]uint64)
+	var inf uint64
+	found := false
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{le=\""):
+			rest := strings.TrimPrefix(line, name+"_bucket{le=\"")
+			le, val, ok := strings.Cut(rest, "\"} ")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				continue
+			}
+			found = true
+			if le == "+Inf" {
+				inf = n
+			} else if i, ok := bounds[le]; ok {
+				cums[i] = n
+			}
+		case strings.HasPrefix(line, name+"_sum "):
+			f, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+"_sum ")), 64)
+			if err == nil {
+				found = true
+				s.Sum = time.Duration(f * float64(time.Second))
+			}
+		}
+	}
+	if !found {
+		return HistogramSnapshot{}, false
+	}
+	// De-cumulate: each bucket's count is its cumulative value minus the
+	// largest cumulative value of any earlier bucket (skipped buckets have
+	// the same cumulative count as their predecessor).
+	var prev uint64
+	for i := 0; i < NumBuckets; i++ {
+		c, ok := cums[i]
+		if !ok {
+			continue
+		}
+		if c > prev {
+			s.Buckets[i] = c - prev
+			prev = c
+		}
+	}
+	if inf > prev {
+		s.Overflow = inf - prev
+	}
+	return s, true
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RuntimeStats is a point-in-time view of process health for /metrics and
+// /healthz: goroutine count, live heap bytes, and cumulative GC pause time.
+type RuntimeStats struct {
+	Goroutines   int
+	HeapBytes    uint64
+	GCPauseTotal time.Duration
+	NumGC        uint32
+}
+
+// ReadRuntime samples the Go runtime. ReadMemStats stops the world for a
+// moment, so callers should sample per scrape, not per request.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:   runtime.NumGoroutine(),
+		HeapBytes:    ms.HeapAlloc,
+		GCPauseTotal: time.Duration(ms.PauseTotalNs),
+		NumGC:        ms.NumGC,
+	}
+}
+
+// BuildInfo identifies the running binary for the auditd_build_info metric.
+type BuildInfo struct {
+	GoVersion string
+	Revision  string
+	Modified  bool
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// ReadBuild returns the binary's build identity from debug.ReadBuildInfo,
+// cached after the first call. Revision is "unknown" when the binary was
+// built outside version control (go test, plain go build of a tarball).
+func ReadBuild() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					buildInfo.Revision = s.Value
+				}
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Event is an opaque payload delivered to a subscriber.
@@ -132,6 +133,9 @@ type Sub struct {
 	evicted  bool
 	dirty    map[string]struct{}
 	dirtyAll bool
+	// since is when the oldest undrained dirty mark landed — the anchor for
+	// ingest→notify latency. Zero while the subscription is clean.
+	since time.Time
 }
 
 // Subscribe registers a subscription with a bounded event queue of the
@@ -183,12 +187,16 @@ func (h *Hub) Subscribe(interest Interest, buffer int) (*Sub, error) {
 func (h *Hub) Notify(touches []Touch) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	now := time.Now()
 	marked := make(map[*Sub]struct{})
 	mark := func(sub *Sub, t Touch) {
 		if sub.kinds != 0 && sub.kinds&(1<<uint(t.Kind)) == 0 {
 			return
 		}
 		sub.dirty[t.Subject] = struct{}{}
+		if sub.since.IsZero() {
+			sub.since = now
+		}
 		marked[sub] = struct{}{}
 	}
 	for _, t := range touches {
@@ -295,18 +303,27 @@ func (s *Sub) Kick() {
 		return
 	}
 	s.dirtyAll = true
+	if s.since.IsZero() {
+		s.since = time.Now()
+	}
 	s.hub.dirtyMarks++
 	s.raiseLocked()
 }
 
-// TakeDirty drains and returns the accumulated dirty subjects (sorted) and
-// whether an unconditional refresh was requested. Both empty means the
-// signal raced an earlier drain and there is nothing left to do.
-func (s *Sub) TakeDirty() (subjects []string, all bool) {
+// TakeDirty drains and returns the accumulated dirty subjects (sorted),
+// whether an unconditional refresh was requested, and when the oldest
+// drained dirty mark landed (zero when nothing was pending). The timestamp
+// anchors the ingest→notify latency histogram: the owed notification's
+// clock started when the first undrained ingest touched this subscription.
+// Subjects empty and all false means the signal raced an earlier drain and
+// there is nothing left to do.
+func (s *Sub) TakeDirty() (subjects []string, all bool, since time.Time) {
 	s.hub.mu.Lock()
 	defer s.hub.mu.Unlock()
 	all = s.dirtyAll
 	s.dirtyAll = false
+	since = s.since
+	s.since = time.Time{}
 	if len(s.dirty) > 0 {
 		subjects = make([]string, 0, len(s.dirty))
 		for subj := range s.dirty {
@@ -315,7 +332,7 @@ func (s *Sub) TakeDirty() (subjects []string, all bool) {
 		sort.Strings(subjects)
 		s.dirty = make(map[string]struct{})
 	}
-	return subjects, all
+	return subjects, all, since
 }
 
 // Send queues an event without blocking. A full queue means the consumer

@@ -47,7 +47,10 @@ func TestNotifyRoutesBySubjectAndKind(t *testing.T) {
 	signaled(t, anyKind)
 	notSignaled(t, hw)
 	notSignaled(t, other)
-	subj, all := anyKind.TakeDirty()
+	subj, all, since := anyKind.TakeDirty()
+	if since.IsZero() {
+		t.Fatal("TakeDirty since is zero after a dirty mark")
+	}
 	if all || len(subj) != 1 || subj[0] != "s2" {
 		t.Fatalf("TakeDirty = %v, %v; want [s2], false", subj, all)
 	}
@@ -57,7 +60,7 @@ func TestNotifyRoutesBySubjectAndKind(t *testing.T) {
 		t.Fatalf("Notify marked %d, want 1", n)
 	}
 	signaled(t, hw)
-	subj, all = hw.TakeDirty()
+	subj, all, _ = hw.TakeDirty()
 	if all || len(subj) != 1 || subj[0] != "s1" {
 		t.Fatalf("TakeDirty = %v, %v; want [s1], false", subj, all)
 	}
@@ -78,14 +81,14 @@ func TestNotifyCoalescesIntoOneSignal(t *testing.T) {
 		h.Notify([]Touch{{Subject: "a"}, {Subject: "b"}})
 	}
 	signaled(t, sub)
-	subj, _ := sub.TakeDirty()
+	subj, _, _ := sub.TakeDirty()
 	if len(subj) != 2 || subj[0] != "a" || subj[1] != "b" {
 		t.Fatalf("dirty subjects = %v, want [a b]", subj)
 	}
 	// The signal is level-triggered: one token no matter how many marks.
 	notSignaled(t, sub)
 	// And drained dirt stays drained.
-	if subj, all := sub.TakeDirty(); len(subj) != 0 || all {
+	if subj, all, since := sub.TakeDirty(); len(subj) != 0 || all || !since.IsZero() {
 		t.Fatalf("second TakeDirty = %v, %v; want empty", subj, all)
 	}
 }
@@ -98,7 +101,7 @@ func TestAllSubjectInterest(t *testing.T) {
 	}
 	h.Notify([]Touch{{Subject: "anything", Kind: 2}})
 	signaled(t, sub)
-	if subj, _ := sub.TakeDirty(); len(subj) != 1 || subj[0] != "anything" {
+	if subj, _, _ := sub.TakeDirty(); len(subj) != 1 || subj[0] != "anything" {
 		t.Fatalf("dirty = %v, want [anything]", subj)
 	}
 	// Kind 1 is filtered even for all-subject interest.
@@ -115,7 +118,10 @@ func TestKickRequestsUnconditionalRefresh(t *testing.T) {
 	}
 	sub.Kick()
 	signaled(t, sub)
-	subj, all := sub.TakeDirty()
+	subj, all, since := sub.TakeDirty()
+	if since.IsZero() {
+		t.Fatal("Kick must stamp the dirty instant")
+	}
 	if !all || len(subj) != 0 {
 		t.Fatalf("TakeDirty = %v, %v; want none, true", subj, all)
 	}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Metric naming lint: every metric the daemon exposes must follow the
+# Prometheus conventions this repo documents in README.md — counters end in
+# _total, timings in _seconds, sizes in _bytes — or be one of the known
+# gauges listed below. A new metric with a bare name fails CI until it is
+# either renamed or deliberately added to the allowlist (and the README
+# metrics table).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Gauges whose names are dimensionless by design. Keep in sync with the
+# README "Observability" metrics table.
+ALLOWED_GAUGES=(
+    auditd_build_info
+    auditd_cache_entries
+    auditd_cache_hit_rate
+    auditd_degraded
+    auditd_goroutines
+    auditd_queue_depth
+    auditd_store_entries
+    auditd_store_recovered_entries
+    auditd_watch_subscribers
+    auditd_workers
+    auditd_workers_busy
+)
+
+# Every auditd_* metric name in the renderer — quoted arguments and names
+# embedded in format strings (auditd_build_info) alike. Comments mentioning
+# metric names are held to the same convention, which is what we want.
+names=$(grep -oE 'auditd_[a-z0-9_]+' internal/auditd/metrics.go | sort -u)
+[ -n "$names" ] || { echo "check_metric_names: found no metric names in metrics.go" >&2; exit 1; }
+
+fail=0
+for name in $names; do
+    case "$name" in
+    *_total | *_seconds | *_bytes) continue ;;
+    esac
+    ok=0
+    for g in "${ALLOWED_GAUGES[@]}"; do
+        [ "$name" = "$g" ] && ok=1 && break
+    done
+    if [ "$ok" -ne 1 ]; then
+        echo "check_metric_names: $name lacks a _total/_seconds/_bytes suffix and is not a documented gauge" >&2
+        fail=1
+    fi
+done
+exit "$fail"

@@ -166,7 +166,18 @@ if [ "$MODE" = base ]; then
     [ "$(metric auditd_computations_total)" = "$COMPUTATIONS_BEFORE" ] ||
         die "delta re-audit ran a full recomputation"
 
-    echo "smoke OK: report + recommendation match goldens; cache, ingest and delta-audit legs confirmed"
+    # Telemetry: the cold audit's trace must break its latency into phases
+    # (queue-wait, graph-build, minimal-rgs at minimum), and the end-to-end
+    # job-duration histogram must be on /metrics.
+    TRACE=$("${CURL[@]}" "$BASE/v1/jobs/$ID/trace")
+    PHASES=$(jq '.trace | length' <<<"$TRACE")
+    [ "$PHASES" -ge 3 ] || die "cold audit trace has $PHASES phases, want >= 3: $TRACE"
+    jq -e '[.trace[].name] | contains(["queue-wait","graph-build","minimal-rgs"])' <<<"$TRACE" >/dev/null ||
+        die "cold audit trace misses a pipeline phase: $TRACE"
+    "${CURL[@]}" "$BASE/metrics" | grep -q '^auditd_job_duration_seconds_bucket{le=' ||
+        die "/metrics lacks the auditd_job_duration_seconds histogram"
+
+    echo "smoke OK: report + recommendation match goldens; cache, ingest, delta-audit and trace legs confirmed"
     exit 0
 fi
 
