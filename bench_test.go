@@ -447,6 +447,75 @@ func BenchmarkFig9SIAvsPIA(b *testing.B) {
 	})
 }
 
+// BenchmarkPrivateAuditBatch times one batched private audit — every pair
+// of 6 providers with 200-component sets through P-SOP at 512 bits, one
+// shared commutative group — across worker counts, reporting pairs/sec (the
+// figure /v1/private-audits returns as pairs_per_sec). On a single-core
+// host the worker counts tie and the row worth recording is the batch
+// throughput itself; on an N-core host the pairs fan out N-wide.
+func BenchmarkPrivateAuditBatch(b *testing.B) {
+	providers := benchProviders(6, 200)
+	deployments := pia.AllPairs(6)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := pia.AuditDeployments(
+					pia.Config{Protocol: pia.ProtocolPSOP, Bits: 512, Workers: workers},
+					providers, deployments)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Entries) != len(deployments) {
+					b.Fatal("short report")
+				}
+			}
+			b.ReportMetric(float64(len(deployments))/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "pairs/sec")
+		})
+	}
+}
+
+// BenchmarkFig9Full runs the SIA-vs-PIA comparison at near-paper scale:
+// paper key size (1024 bits), 10⁵ sampling rounds, provider counts up to 8.
+// Two-way deployments run over 500-component sets; three-way deployments
+// over 80-component sets, because the three-way minimal-RG family is the
+// cross product of the private sets (n³ minimal risk groups per triple) —
+// which is Fig. 9's own point about trusted-auditor SIA at the
+// component-set level. Gated like the Fig. 7 full points; measured numbers
+// live in PERFORMANCE.md:
+//
+//	INDAAS_FULL_BENCH=1 go test -run='^$' -bench=Fig9Full -benchtime=1x .
+func BenchmarkFig9Full(b *testing.B) {
+	fullBench(b)
+	cases := []struct {
+		name string
+		cfg  exp.Fig9Config
+	}{
+		{"two-way", exp.Fig9Config{
+			ProviderCounts: []int{4, 6, 8}, Elements: 500, Arities: []int{2},
+			Rounds: 100_000, Bits: 1024, KSMinHashM: 32,
+		}},
+		{"three-way", exp.Fig9Config{
+			ProviderCounts: []int{4, 6}, Elements: 80, Arities: []int{3},
+			Rounds: 100_000, Bits: 1024, KSMinHashM: 32,
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunFig9(tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, p := range res.Points {
+					fmt.Printf("fig9full: %-12s m=%d arity=%d  %v\n", p.Method, p.Providers, p.Arity, p.Elapsed)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // --- ablation benches (DESIGN.md §6) ---------------------------------------
 
 // BenchmarkAblationMinimizeCadence compares per-node absorption against

@@ -39,6 +39,13 @@
 //	    placements (see internal/placement); -server pushes the search to a
 //	    running audit service's /v1/recommend endpoint instead.
 //
+//	indaas private-audit -provider a=a.txt -provider b=b.txt [-server URL]
+//	    Run a private independence audit (PIA, §4.2) over provider
+//	    component-set files — locally, or through a running audit service's
+//	    /v1/private-audits endpoint where results are cached by dataset
+//	    fingerprint; -register stores datasets server-side for later
+//	    reference by name.
+//
 //	indaas loadgen -server http://127.0.0.1:7080 -rate 10000 -duration 10s
 //	    Replay a simulated agent fleet's dependency churn against a running
 //	    audit service and measure sustained ingest throughput, watch
@@ -85,6 +92,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "recommend":
 		err = cmdRecommend(os.Args[2:])
+	case "private-audit":
+		err = cmdPrivateAudit(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
 	case "loadgen":
@@ -104,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend|store|loadgen> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indaas <audit|source|agent|client|proxy|psop|serve|recommend|private-audit|store|loadgen> [flags]
 run "indaas <subcommand> -h" for the subcommand's flags`)
 }
 

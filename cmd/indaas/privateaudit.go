@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"indaas/internal/auditd"
+)
+
+// providerFlag collects repeated -provider "name=components.txt" flags.
+type providerFlag []struct{ name, path string }
+
+func (p *providerFlag) String() string { return fmt.Sprint(*p) }
+
+func (p *providerFlag) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=components.txt, got %q", v)
+	}
+	*p = append(*p, struct{ name, path string }{name, path})
+	return nil
+}
+
+// listFlag collects repeated comma-separated list flags (-deploy "a,b").
+type listFlag [][]string
+
+func (l *listFlag) String() string { return fmt.Sprint(*l) }
+
+func (l *listFlag) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) < 2 {
+		return fmt.Errorf("want at least two comma-separated provider names, got %q", v)
+	}
+	*l = append(*l, parts)
+	return nil
+}
+
+// loadComponents reads a one-component-per-line file, skipping blanks and
+// '#' comments — the same format `indaas proxy -components` serves.
+func loadComponents(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var components []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			components = append(components, line)
+		}
+	}
+	return components, sc.Err()
+}
+
+// cmdPrivateAudit runs a private independence audit (PIA, §4.2) — locally
+// in-process, or through a running audit service's /v1/private-audits
+// endpoint, which caches results by the providers' dataset fingerprints.
+func cmdPrivateAudit(args []string) error {
+	fs := flag.NewFlagSet("private-audit", flag.ExitOnError)
+	server := fs.String("server", "", "audit service base URL (e.g. http://127.0.0.1:7080); empty = run locally")
+	var providers providerFlag
+	fs.Var(&providers, "provider", "provider dataset: name=components.txt (repeatable)")
+	uses := fs.String("use", "", "comma-separated names of datasets already registered on the server")
+	register := fs.Bool("register", false, "register -provider datasets on the server first and reference them by name")
+	var deployments listFlag
+	fs.Var(&deployments, "deploy", "deployment to audit: providerA,providerB[,...] (repeatable; default: every pair)")
+	protocol := fs.String("protocol", "p-sop", "p-sop, ks or cleartext")
+	bits := fs.Int("bits", 0, "protocol key size (0 = service default 512; paper setting 1024)")
+	minhashM := fs.Int("minhash-m", 0, "MinHash signature size (0 = exact sets; ks defaults to 512)")
+	minhashThreshold := fs.Int("minhash-threshold", 0, "switch to MinHash above this component count (0 = never)")
+	ksBlindBits := fs.Int("ks-blind-bits", 0, "KS blinding-coefficient width (0 = full width)")
+	workers := fs.Int("workers", 0, "concurrent pair audits and signing shards (0 = one per CPU)")
+	title := fs.String("title", "indaas private audit", "report title")
+	timeout := fs.Duration("timeout", 0, "job timeout (0 = service default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		// A bool flag given a value (-register x=y) strands everything after
+		// it as positional arguments; refuse rather than silently drop them.
+		return fmt.Errorf("private-audit: unexpected arguments %q (note: -register takes no value; datasets come from -provider)", fs.Args())
+	}
+
+	// One wire request serves both modes: remotely it is POSTed verbatim;
+	// locally Local() applies the exact defaults the service would, so
+	// offline and served audits cannot drift.
+	req := &auditd.PrivateAuditRequest{
+		Title:            *title,
+		Deployments:      deployments,
+		Protocol:         *protocol,
+		Bits:             *bits,
+		MinHashM:         *minhashM,
+		MinHashThreshold: *minhashThreshold,
+		KSBlindBits:      *ksBlindBits,
+		Workers:          *workers,
+		TimeoutMS:        timeout.Milliseconds(),
+	}
+	for _, name := range strings.Split(*uses, ",") {
+		if name != "" {
+			req.Providers = append(req.Providers, auditd.ProviderWire{Name: name})
+		}
+	}
+	if *server == "" {
+		if *uses != "" || *register {
+			return fmt.Errorf("private-audit: -use and -register need -server")
+		}
+		if len(providers) < 2 {
+			return fmt.Errorf("private-audit requires at least two -provider datasets (or -server with -use)")
+		}
+		for _, p := range providers {
+			components, err := loadComponents(p.path)
+			if err != nil {
+				return err
+			}
+			req.Providers = append(req.Providers, auditd.ProviderWire{Name: p.name, Components: components})
+		}
+		resp, err := req.Local(context.Background())
+		if err != nil {
+			return err
+		}
+		return renderPrivateAudit(resp)
+	}
+
+	ctx := context.Background()
+	c := auditd.NewClient(*server, nil)
+	for _, p := range providers {
+		components, err := loadComponents(p.path)
+		if err != nil {
+			return err
+		}
+		if *register {
+			info, err := c.RegisterProvider(ctx, p.name, components)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("registered %s: %d components, fingerprint %.12s…\n", info.Name, info.Components, info.Fingerprint)
+			req.Providers = append(req.Providers, auditd.ProviderWire{Name: p.name})
+		} else {
+			req.Providers = append(req.Providers, auditd.ProviderWire{Name: p.name, Components: components})
+		}
+	}
+	st, err := c.PrivateAudit(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s (%s, cache key %.12s…)\n", st.ID, st.State, st.CacheKey)
+	end, err := c.WaitDone(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if end.State != auditd.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", end.ID, end.State, end.Error)
+	}
+	resp, err := c.PrivateAuditResult(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	return renderPrivateAudit(resp)
+}
+
+// renderPrivateAudit prints the ranked independence table, most independent
+// (lowest Jaccard similarity) deployment first.
+func renderPrivateAudit(res *auditd.PrivateAuditResponse) error {
+	fmt.Printf("=== INDaaS private audit (%s, %d pairs, %d bytes on the wire) ===\n",
+		res.Protocol, res.Pairs, res.BytesSent)
+	for _, p := range res.Providers {
+		fmt.Printf("provider %s: %d components, fingerprint %.12s…\n", p.Name, p.Components, p.Fingerprint)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\tdeployment\tjaccard\testimated\tbytes\telapsed")
+	for i, e := range res.Entries {
+		jcol := "-"
+		if e.Jaccard != nil {
+			jcol = fmt.Sprintf("%.4f", *e.Jaccard)
+		}
+		est := ""
+		if e.Estimated {
+			est = "minhash"
+		}
+		fmt.Fprintf(w, "#%d\t%s\t%s\t%s\t%d\t%s\n",
+			i+1, strings.Join(e.Providers, " + "), jcol, est, e.BytesSent,
+			time.Duration(e.ElapsedNS).Round(time.Microsecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if res.PairsPerSec != nil {
+		fmt.Printf("throughput: %.1f pairs/sec\n", *res.PairsPerSec)
+	}
+	return nil
+}

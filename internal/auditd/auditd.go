@@ -214,6 +214,9 @@ type Server struct {
 	lineage  *lineageIndex // delta-audit ancestry (see delta.go)
 	nextID   uint64
 	closed   bool
+	// providers is the registered private-audit dataset registry (see
+	// privateaudit.go), persisted under pia/provider/ store keys.
+	providers map[string]providerDataset
 
 	store *store.Store // cfg.Store; nil for a memory-only service
 	// breaker trips the daemon into degraded (memory-only) serving after
@@ -252,26 +255,31 @@ func New(cfg Config) *Server {
 	cfg.defaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		baseCtx:  ctx,
-		stop:     cancel,
-		queue:    make(chan *computation, cfg.QueueDepth),
-		db:       cfg.DB,
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*computation),
-		cache:    newResultCache(cfg.CacheEntries),
-		lineage:  newLineageIndex(),
-		store:    cfg.Store,
-		breaker:  newBreaker(cfg.StoreFailureThreshold, cfg.StoreRetryInterval, cfg.Now),
-		ingestCh: make(chan *ingestWaiter, maxIngestGroup),
-		watchHub: watch.NewHub(),
-		began:    time.Now(),
+		cfg:       cfg,
+		baseCtx:   ctx,
+		stop:      cancel,
+		queue:     make(chan *computation, cfg.QueueDepth),
+		db:        cfg.DB,
+		jobs:      make(map[string]*job),
+		providers: make(map[string]providerDataset),
+		inflight:  make(map[string]*computation),
+		cache:     newResultCache(cfg.CacheEntries),
+		lineage:   newLineageIndex(),
+		store:     cfg.Store,
+		breaker:   newBreaker(cfg.StoreFailureThreshold, cfg.StoreRetryInterval, cfg.Now),
+		ingestCh:  make(chan *ingestWaiter, maxIngestGroup),
+		watchHub:  watch.NewHub(),
+		began:     time.Now(),
 	}
 	s.ingestLimit = newTokenBucket(cfg.IngestRate, cfg.IngestBurst, cfg.Now)
 	if s.store != nil {
 		// Resume the persisted snapshot chain where the store left it so the
 		// next ingest appends a segment instead of restarting a generation.
 		s.snapMeta = readSnapMeta(s.store)
+		// Reload the private-audit provider registry before any request —
+		// in particular before RecoverJobs replays journaled private audits
+		// that reference registered datasets.
+		s.restoreProviders()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -952,6 +960,8 @@ func (s *Server) Stats() Stats {
 		Workers:         s.cfg.Workers,
 		CacheEntries:    entries,
 		Recommendations: s.m.recommendations.Load(),
+		PrivateAudits:   s.m.privateAudits.Load(),
+		PrivatePairs:    s.m.privatePairs.Load(),
 		IngestedRecords: s.m.ingestedRecords.Load(),
 		IngestGroups:    s.m.ingestGroups.Load(),
 		IngestThrottled: s.m.ingestThrottled.Load(),
@@ -1149,6 +1159,10 @@ func retitle(res any, title string) any {
 		cp.Title = title
 		return &cp
 	case *RecommendResponse:
+		cp := *v
+		cp.Title = title
+		return &cp
+	case *PrivateAuditResponse:
 		cp := *v
 		cp.Title = title
 		return &cp

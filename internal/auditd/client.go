@@ -250,15 +250,19 @@ func (c *Client) WaitDone(ctx context.Context, id string) (JobStatus, error) {
 }
 
 // Report fetches a finished audit job's report. Asking for a
-// recommendation job's result is an error rather than a silently
-// zero-valued report — the shared result endpoint serves both payloads.
+// recommendation or private-audit job's result is an error rather than a
+// silently zero-valued report — the shared result endpoint serves all
+// payload kinds.
 func (c *Client) Report(ctx context.Context, id string) (*report.Report, error) {
 	raw, err := c.result(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	if kind := resultKind(raw); kind == "recommendation" {
+	switch resultKind(raw) {
+	case "recommendation":
 		return nil, fmt.Errorf("auditd: job %s is a recommendation job; use RecommendResult", id)
+	case "private-audit":
+		return nil, fmt.Errorf("auditd: job %s is a private-audit job; use PrivateAuditResult", id)
 	}
 	var rep report.Report
 	if err := json.Unmarshal(raw, &rep); err != nil {
@@ -277,15 +281,21 @@ func (c *Client) result(ctx context.Context, id string) (json.RawMessage, error)
 }
 
 // resultKind sniffs which job kind a result payload belongs to: audit
-// reports carry "audits", recommendations carry "rankings" + "strategy".
+// reports carry "audits", recommendations carry "rankings" + "strategy",
+// private audits carry "entries" + "protocol".
 func resultKind(raw json.RawMessage) string {
 	var probe struct {
 		Audits   json.RawMessage `json:"audits"`
 		Rankings json.RawMessage `json:"rankings"`
 		Strategy string          `json:"strategy"`
+		Entries  json.RawMessage `json:"entries"`
+		Protocol string          `json:"protocol"`
 	}
 	if json.Unmarshal(raw, &probe) != nil {
 		return ""
+	}
+	if probe.Audits == nil && (probe.Entries != nil || probe.Protocol != "") {
+		return "private-audit"
 	}
 	if probe.Audits == nil && (probe.Rankings != nil || probe.Strategy != "") {
 		return "recommendation"
@@ -308,14 +318,64 @@ func (c *Client) RecommendResult(ctx context.Context, id string) (*RecommendResp
 	if err != nil {
 		return nil, err
 	}
-	if kind := resultKind(raw); kind == "audit" {
+	switch resultKind(raw) {
+	case "audit":
 		return nil, fmt.Errorf("auditd: job %s is an audit job; use Report", id)
+	case "private-audit":
+		return nil, fmt.Errorf("auditd: job %s is a private-audit job; use PrivateAuditResult", id)
 	}
 	var res RecommendResponse
 	if err := json.Unmarshal(raw, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
+}
+
+// PrivateAudit submits a private (PIA) audit job; poll it with Status or
+// WaitDone like any audit job and fetch the result with PrivateAuditResult.
+func (c *Client) PrivateAudit(ctx context.Context, req *PrivateAuditRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/private-audits", req, &st)
+	return st, err
+}
+
+// PrivateAuditResult fetches a finished private-audit job's report; asking
+// for another job kind's result is an error (see Report).
+func (c *Client) PrivateAuditResult(ctx context.Context, id string) (*PrivateAuditResponse, error) {
+	raw, err := c.result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	switch resultKind(raw) {
+	case "audit":
+		return nil, fmt.Errorf("auditd: job %s is an audit job; use Report", id)
+	case "recommendation":
+		return nil, fmt.Errorf("auditd: job %s is a recommendation job; use RecommendResult", id)
+	}
+	var res PrivateAuditResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RegisterProvider registers (or replaces) a private-audit provider dataset
+// on the server. Registration is a last-write-wins set, so retries are
+// safe.
+func (c *Client) RegisterProvider(ctx context.Context, name string, components []string) (ProviderInfo, error) {
+	var info ProviderInfo
+	err := c.do(ctx, http.MethodPost, "/v1/providers", &RegisterProviderRequest{Name: name, Components: components}, &info)
+	return info, err
+}
+
+// Providers lists the server's registered private-audit datasets
+// (fingerprints and component counts only).
+func (c *Client) Providers(ctx context.Context) ([]ProviderInfo, error) {
+	var out struct {
+		Providers []ProviderInfo `json:"providers"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/providers", nil, &out)
+	return out.Providers, err
 }
 
 // Ingest appends dependency records to the server's database and returns

@@ -19,6 +19,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/audits", s.handleSubmit)
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+	mux.HandleFunc("POST /v1/private-audits", s.handlePrivateAudit)
+	mux.HandleFunc("POST /v1/providers", s.handleRegisterProvider)
+	mux.HandleFunc("GET /v1/providers", s.handleProviders)
 	mux.HandleFunc("POST /v1/depdb", s.handleIngest)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("POST /v1/watch", s.handleWatch)
@@ -109,6 +112,50 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		code = 200 // cache hit: already answered
 	}
 	writeJSON(w, code, st)
+}
+
+// handlePrivateAudit submits a private (PIA) audit job; like
+// recommendations, its lifecycle runs through the shared /v1/audits/{id}
+// endpoints.
+func (s *Server) handlePrivateAudit(w http.ResponseWriter, r *http.Request) {
+	var req PrivateAuditRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	st, err := s.PrivateAudit(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	telemetry.AnnotateJob(r, st.ID)
+	code := 202
+	if st.State == StateDone {
+		code = 200 // cache hit: already answered
+	}
+	writeJSON(w, code, st)
+}
+
+// handleRegisterProvider registers (or replaces) a private-audit provider
+// dataset.
+func (s *Server) handleRegisterProvider(w http.ResponseWriter, r *http.Request) {
+	var req RegisterProviderRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	info, err := s.RegisterProvider(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, info)
+}
+
+// handleProviders lists registered provider datasets — fingerprints and
+// component counts only, never the components themselves.
+func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, 200, struct {
+		Providers []ProviderInfo `json:"providers"`
+	}{s.Providers()})
 }
 
 // handleIngest appends dependency records to the server's database.

@@ -20,6 +20,7 @@ const jobKeyPrefix = "job/"
 const (
 	journalKindAudit     = "audit"
 	journalKindRecommend = "recommend"
+	journalKindPrivate   = "private-audit"
 )
 
 // journalRecord is the disk envelope of one accepted job: enough to replay
@@ -158,6 +159,16 @@ func (s *Server) RecoverJobs() (int, error) {
 				continue
 			}
 			if _, err := s.recommend(&req, id); err != nil {
+				s.dropJournal(e.Key, err)
+				continue
+			}
+		case journalKindPrivate:
+			var req PrivateAuditRequest
+			if err := json.Unmarshal(jr.Request, &req); err != nil {
+				s.dropJournal(e.Key, err)
+				continue
+			}
+			if _, err := s.privateAudit(&req, id); err != nil {
 				s.dropJournal(e.Key, err)
 				continue
 			}

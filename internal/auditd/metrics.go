@@ -26,6 +26,8 @@ type metrics struct {
 	busyWorkers  atomic.Int64 // workers currently running a computation
 
 	recommendations atomic.Int64 // placement recommendation jobs accepted
+	privateAudits   atomic.Int64 // private (PIA) audit jobs accepted
+	privatePairs    atomic.Int64 // provider pairs evaluated by private-audit computations
 	ingestedRecords atomic.Int64 // dependency records accepted via /v1/depdb
 	ingestGroups    atomic.Int64 // ingest commit groups (one segment + pointer fsync pair each)
 	ingestThrottled atomic.Int64 // ingests rejected by the rate limiter (429)
@@ -70,6 +72,11 @@ type Stats struct {
 	CacheEntries int
 
 	Recommendations int64
+	// PrivateAudits counts accepted private (PIA) audit jobs;
+	// PrivatePairs totals the provider pairs their computations evaluated
+	// (cache and coalescing hits evaluate none).
+	PrivateAudits   int64
+	PrivatePairs    int64
 	IngestedRecords int64
 	// IngestGroups counts commit groups: concurrent ingests fold into one
 	// group per fsync pair, so IngestGroups ≪ ingest requests under load.
@@ -173,6 +180,8 @@ func (s Stats) render(w io.Writer) {
 	counter("auditd_cache_misses_total", "Jobs that enqueued their own computation.", s.CacheMisses)
 	counter("auditd_computations_total", "Computations executed by the worker pool.", s.Computations)
 	counter("auditd_recommendations_total", "Placement recommendation jobs accepted.", s.Recommendations)
+	counter("auditd_private_audits_total", "Private (PIA) audit jobs accepted.", s.PrivateAudits)
+	counter("auditd_private_pairs_total", "Provider pairs evaluated by private-audit computations.", s.PrivatePairs)
 	counter("auditd_depdb_ingested_records_total", "Dependency records accepted via /v1/depdb.", s.IngestedRecords)
 	counter("auditd_depdb_commit_groups_total", "Ingest commit groups (one snapshot segment and fsync pair each).", s.IngestGroups)
 	counter("auditd_depdb_throttled_total", "Ingests rejected by the admission rate limit (429).", s.IngestThrottled)

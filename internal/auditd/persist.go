@@ -67,11 +67,11 @@ func readSnapMeta(st *store.Store) snapMeta {
 // persistedResult is the disk envelope for a completed computation: a kind
 // tag telling the decoder which concrete wire type the payload holds.
 type persistedResult struct {
-	Kind    string          `json:"kind"` // "audit" or "recommend"
+	Kind    string          `json:"kind"` // "audit", "recommend" or "private-audit"
 	Payload json.RawMessage `json:"payload"`
 }
 
-// encodeResult serializes a completed result for the disk store. Both
+// encodeResult serializes a completed result for the disk store. All
 // payload types already define stable, NaN-safe JSON.
 func encodeResult(res any) ([]byte, error) {
 	var kind string
@@ -80,6 +80,8 @@ func encodeResult(res any) ([]byte, error) {
 		kind = "audit"
 	case *RecommendResponse:
 		kind = "recommend"
+	case *PrivateAuditResponse:
+		kind = "private-audit"
 	default:
 		return nil, fmt.Errorf("auditd: result type %T is not persistable", res)
 	}
@@ -105,6 +107,12 @@ func decodeResult(blob []byte) (any, error) {
 		return rep, nil
 	case "recommend":
 		resp := new(RecommendResponse)
+		if err := json.Unmarshal(env.Payload, resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	case "private-audit":
+		resp := new(PrivateAuditResponse)
 		if err := json.Unmarshal(env.Payload, resp); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,517 @@
+package auditd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"indaas/internal/pia"
+	"indaas/internal/report"
+	"indaas/internal/store"
+)
+
+// Private independence audits (§4.2) behind the daemon: POST
+// /v1/private-audits runs the P-SOP / Kissner–Song / cleartext protocols of
+// internal/pia as a run closure sharing the queue, worker pool,
+// content-addressed caches, coalescing, cancellation and crash journal with
+// audit and recommendation jobs. Provider datasets register once under POST
+// /v1/providers; jobs are content-addressed by the providers' dataset
+// *fingerprints*, so a repeated cross-provider audit — by any tenant — hits
+// cache without the request ever carrying the raw components again.
+
+// providerKeyPrefix namespaces registered provider datasets in the store.
+// KindMeta entries are never evicted, so a registered dataset survives
+// restarts for as long as the operator keeps it.
+const providerKeyPrefix = "pia/provider/"
+
+func providerKey(name string) string { return providerKeyPrefix + name }
+
+// ProviderWire is one provider dataset in a private-audit request: inline
+// when Components is non-empty, otherwise a reference to a dataset
+// registered under POST /v1/providers.
+type ProviderWire struct {
+	Name       string   `json:"name"`
+	Components []string `json:"components,omitempty"`
+}
+
+// RegisterProviderRequest is the body of POST /v1/providers: a provider
+// hands the service its normalized component-set (§4.2.3) once, to be
+// referenced by name in later private audits.
+type RegisterProviderRequest struct {
+	Name       string   `json:"name"`
+	Components []string `json:"components"`
+}
+
+// ProviderInfo describes a registered dataset without revealing it: the
+// name, the content fingerprint of the normalized component-set, and the
+// component count. This is all GET /v1/providers exposes to other tenants.
+type ProviderInfo struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Components  int    `json:"components"`
+}
+
+// providerDataset is the in-memory registry entry (guarded by Server.mu).
+type providerDataset struct {
+	components []string // sorted, deduplicated
+	fp         string
+}
+
+// persistedProvider is the disk form of a registered dataset.
+type persistedProvider struct {
+	Name       string   `json:"name"`
+	Components []string `json:"components"`
+}
+
+// normalizeComponents canonicalizes a component-set: sorted, deduplicated,
+// no empty strings.
+func normalizeComponents(components []string) ([]string, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("auditd: provider has an empty component-set")
+	}
+	out := append([]string(nil), components...)
+	sort.Strings(out)
+	dst := out[:0]
+	var prev string
+	for i, c := range out {
+		if c == "" {
+			return nil, fmt.Errorf("auditd: empty component name")
+		}
+		if i > 0 && c == prev {
+			continue
+		}
+		dst = append(dst, c)
+		prev = c
+	}
+	return dst, nil
+}
+
+// providerFingerprint content-addresses a normalized component-set. The
+// "provider" op keeps these fingerprints disjoint from job cache keys.
+func providerFingerprint(components []string) string {
+	return canonicalKey(&struct {
+		Op         string   `json:"op"`
+		Components []string `json:"components"`
+	}{Op: "provider", Components: components})
+}
+
+// RegisterProvider validates and registers a provider dataset, persisting
+// it durably (when the service has a store and is not degraded) and
+// replacing any prior dataset under the same name. Re-registering changed
+// components yields a new fingerprint, so stale cached audits are simply
+// never addressed again.
+func (s *Server) RegisterProvider(req *RegisterProviderRequest) (ProviderInfo, error) {
+	if req.Name == "" {
+		return ProviderInfo{}, &statusErr{code: 400, err: fmt.Errorf("auditd: provider needs a name")}
+	}
+	if strings.ContainsAny(req.Name, "/\x00") {
+		return ProviderInfo{}, &statusErr{code: 400, err: fmt.Errorf("auditd: provider name %q may not contain '/'", req.Name)}
+	}
+	components, err := normalizeComponents(req.Components)
+	if err != nil {
+		return ProviderInfo{}, &statusErr{code: 400, err: fmt.Errorf("auditd: provider %q: %w", req.Name, err)}
+	}
+	ds := providerDataset{components: components, fp: providerFingerprint(components)}
+
+	// Persist before publishing, like job journaling: once a client sees the
+	// registration acknowledged it should survive a crash. Degraded mode
+	// registers memory-only (mirroring degraded ingests).
+	if s.store != nil && s.breaker.allow() {
+		blob, err := json.Marshal(persistedProvider{Name: req.Name, Components: components})
+		if err == nil {
+			if _, err := s.store.Put(providerKey(req.Name), store.KindMeta, blob); err != nil {
+				s.storeFailure("persisting provider "+req.Name, err)
+			} else {
+				s.storeOK()
+			}
+		}
+	} else if s.store != nil {
+		s.m.storeSkipped.Add(1)
+	}
+
+	s.mu.Lock()
+	s.providers[req.Name] = ds
+	s.mu.Unlock()
+	return ProviderInfo{Name: req.Name, Fingerprint: ds.fp, Components: len(components)}, nil
+}
+
+// Providers lists the registered datasets (fingerprints and counts only),
+// sorted by name.
+func (s *Server) Providers() []ProviderInfo {
+	s.mu.Lock()
+	out := make([]ProviderInfo, 0, len(s.providers))
+	for name, ds := range s.providers {
+		out = append(out, ProviderInfo{Name: name, Fingerprint: ds.fp, Components: len(ds.components)})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookupProvider resolves a registered dataset for request normalization.
+func (s *Server) lookupProvider(name string) ([]string, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, ok := s.providers[name]
+	return ds.components, ds.fp, ok
+}
+
+// restoreProviders reloads the registry from the store at boot; called from
+// New before any request (and before RecoverJobs, which may replay private
+// audits referencing registered datasets). Unreadable entries are dropped
+// with a log line rather than wedging the boot.
+func (s *Server) restoreProviders() {
+	for _, e := range s.store.Entries() {
+		if e.Kind != store.KindMeta || !strings.HasPrefix(e.Key, providerKeyPrefix) {
+			continue
+		}
+		blob, _, ok, err := s.store.Get(e.Key)
+		if err != nil || !ok {
+			log.Printf("auditd: dropping provider record %s: ok=%v err=%v", e.Key, ok, err)
+			continue
+		}
+		var pp persistedProvider
+		if err := json.Unmarshal(blob, &pp); err != nil {
+			log.Printf("auditd: dropping provider record %s: %v", e.Key, err)
+			continue
+		}
+		components, err := normalizeComponents(pp.Components)
+		if err != nil || pp.Name == "" {
+			log.Printf("auditd: dropping provider record %s: %v", e.Key, err)
+			continue
+		}
+		s.providers[pp.Name] = providerDataset{components: components, fp: providerFingerprint(components)}
+	}
+}
+
+// PrivateAuditRequest is the body of POST /v1/private-audits: audit the
+// pairwise (or listed) independence of provider datasets through a privacy-
+// preserving protocol (§4.2).
+type PrivateAuditRequest struct {
+	// Title names the report; like audit titles it does not contribute to
+	// the cache key.
+	Title string `json:"title,omitempty"`
+	// Providers are the datasets to audit: inline (Components set) or
+	// references to registered datasets (Components empty). At least two.
+	Providers []ProviderWire `json:"providers"`
+	// Deployments lists candidate deployments as provider-name lists (each
+	// at least a pair). Empty means audit every provider pair.
+	Deployments [][]string `json:"deployments,omitempty"`
+	// Protocol is "p-sop" (default), "ks" or "cleartext".
+	Protocol string `json:"protocol,omitempty"`
+	// Bits is the protocol key size (default 512, the CI-scale setting;
+	// 1024 is the paper's). Ignored — and excluded from the cache key —
+	// under "cleartext".
+	Bits int `json:"bits,omitempty"`
+	// MinHashM estimates Jaccard from m-function MinHash signatures
+	// (§4.2.4) instead of full component-sets; required under "ks"
+	// (defaulting to 512 there).
+	MinHashM int `json:"minhash_m,omitempty"`
+	// MinHashThreshold switches to MinHash automatically for providers
+	// whose component-sets exceed it.
+	MinHashThreshold int `json:"minhash_threshold,omitempty"`
+	// KSBlindBits bounds KS blinding-coefficient width (0 = full width).
+	KSBlindBits int `json:"ks_blind_bits,omitempty"`
+	// Workers parallelizes the per-pair protocol rounds and MinHash
+	// signing. Parallelism never changes the report, so like Title it stays
+	// out of the cache key; 0 means the server picks (one per CPU).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS caps the job's run time; same semantics as audit jobs.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// providerRef is a provider's identity inside the canonical form: its name
+// and dataset fingerprint — never the components, which keeps cache keys
+// stable across inline and registered submissions of the same dataset.
+type providerRef struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fp"`
+}
+
+// normalizedPrivate is the canonical, defaults-applied form the cache key
+// hashes. Op keeps private-audit keys disjoint from the other job kinds.
+type normalizedPrivate struct {
+	Op               string        `json:"op"` // always "private-audit"
+	Providers        []providerRef `json:"providers"`
+	Deployments      [][]string    `json:"deployments"`
+	Protocol         string        `json:"protocol"`
+	Bits             int           `json:"bits,omitempty"`
+	MinHashM         int           `json:"minhash_m,omitempty"`
+	MinHashThreshold int           `json:"minhash_threshold,omitempty"`
+	KSBlindBits      int           `json:"ks_blind_bits,omitempty"`
+}
+
+// key derives the content address of the normalized private audit.
+func (n *normalizedPrivate) key() string { return canonicalKey(n) }
+
+// normalize validates the request and produces the canonical form plus the
+// resolved pia inputs. lookup resolves referenced (non-inline) providers to
+// their registered components and fingerprint; a nil lookup — the CLI's
+// offline mode — makes references an error. The CLI's local mode runs
+// through this so offline and served audits cannot drift.
+func (r *PrivateAuditRequest) normalize(lookup func(string) ([]string, string, bool)) (normalizedPrivate, pia.Config, []pia.Provider, []pia.Deployment, error) {
+	n := normalizedPrivate{Op: "private-audit"}
+	var cfg pia.Config
+	if len(r.Providers) < 2 {
+		return n, cfg, nil, nil, fmt.Errorf("auditd: need at least two providers, got %d", len(r.Providers))
+	}
+	if r.Bits < 0 || r.MinHashM < 0 || r.MinHashThreshold < 0 || r.KSBlindBits < 0 ||
+		r.Workers < 0 || r.TimeoutMS < 0 {
+		return n, cfg, nil, nil, fmt.Errorf("auditd: negative option")
+	}
+
+	switch r.Protocol {
+	case "", "p-sop":
+		n.Protocol = "p-sop"
+		cfg.Protocol = pia.ProtocolPSOP
+	case "ks":
+		n.Protocol = "ks"
+		cfg.Protocol = pia.ProtocolKS
+	case "cleartext":
+		n.Protocol = "cleartext"
+		cfg.Protocol = pia.ProtocolCleartext
+	default:
+		return n, cfg, nil, nil, fmt.Errorf("auditd: unknown protocol %q", r.Protocol)
+	}
+	if n.Protocol != "cleartext" {
+		n.Bits = r.Bits
+		if n.Bits == 0 {
+			n.Bits = 512
+		}
+		if n.Bits < 128 {
+			return n, cfg, nil, nil, fmt.Errorf("auditd: bits=%d too small (need at least 128)", n.Bits)
+		}
+	}
+	n.MinHashM = r.MinHashM
+	if n.Protocol == "ks" && n.MinHashM == 0 {
+		n.MinHashM = 512 // KS always estimates via MinHash; pin the default into the key
+	}
+	n.MinHashThreshold = r.MinHashThreshold
+	if n.Protocol == "ks" {
+		n.KSBlindBits = r.KSBlindBits
+	}
+	cfg.Bits = n.Bits
+	cfg.MinHashM = n.MinHashM
+	cfg.MinHashThreshold = n.MinHashThreshold
+	cfg.KSBlindBits = n.KSBlindBits
+	cfg.Workers = r.Workers
+
+	// Resolve every provider to (sorted components, fingerprint), then sort
+	// providers by name for a canonical order.
+	seen := make(map[string]bool, len(r.Providers))
+	provs := make([]pia.Provider, 0, len(r.Providers))
+	for i, p := range r.Providers {
+		if p.Name == "" {
+			return n, cfg, nil, nil, fmt.Errorf("auditd: provider %d has no name", i)
+		}
+		if seen[p.Name] {
+			return n, cfg, nil, nil, fmt.Errorf("auditd: duplicate provider %q", p.Name)
+		}
+		seen[p.Name] = true
+		var components []string
+		if len(p.Components) > 0 {
+			c, err := normalizeComponents(p.Components)
+			if err != nil {
+				return n, cfg, nil, nil, fmt.Errorf("auditd: provider %q: %w", p.Name, err)
+			}
+			components = c
+		} else {
+			if lookup == nil {
+				return n, cfg, nil, nil, fmt.Errorf("auditd: provider %q has no inline components and no registry is available", p.Name)
+			}
+			c, _, ok := lookup(p.Name)
+			if !ok {
+				return n, cfg, nil, nil, fmt.Errorf("auditd: unknown provider %q (not registered and no inline components)", p.Name)
+			}
+			components = c
+		}
+		provs = append(provs, pia.Provider{Name: p.Name, Components: components})
+	}
+	sort.Slice(provs, func(i, j int) bool { return provs[i].Name < provs[j].Name })
+	index := make(map[string]int, len(provs))
+	for i, p := range provs {
+		index[p.Name] = i
+		n.Providers = append(n.Providers, providerRef{Name: p.Name, Fingerprint: providerFingerprint(p.Components)})
+	}
+
+	// Canonicalize the deployment list: names sorted within each deployment,
+	// the list sorted and deduplicated. The report is ranked after auditing,
+	// so canonical order cannot change the result.
+	var canon [][]string
+	if len(r.Deployments) == 0 {
+		for i := 0; i < len(provs); i++ {
+			for j := i + 1; j < len(provs); j++ {
+				canon = append(canon, []string{provs[i].Name, provs[j].Name})
+			}
+		}
+	} else {
+		for di, d := range r.Deployments {
+			if len(d) < 2 {
+				return n, cfg, nil, nil, fmt.Errorf("auditd: deployment %d needs at least two providers", di)
+			}
+			names := append([]string(nil), d...)
+			sort.Strings(names)
+			for i, name := range names {
+				if _, ok := index[name]; !ok {
+					return n, cfg, nil, nil, fmt.Errorf("auditd: deployment %d references unknown provider %q", di, name)
+				}
+				if i > 0 && names[i-1] == name {
+					return n, cfg, nil, nil, fmt.Errorf("auditd: deployment %d lists provider %q twice", di, name)
+				}
+			}
+			canon = append(canon, names)
+		}
+		sort.Slice(canon, func(i, j int) bool { return strings.Join(canon[i], "\x00") < strings.Join(canon[j], "\x00") })
+		dst := canon[:0]
+		for i, d := range canon {
+			if i > 0 && strings.Join(canon[i-1], "\x00") == strings.Join(d, "\x00") {
+				continue
+			}
+			dst = append(dst, d)
+		}
+		canon = dst
+	}
+	n.Deployments = canon
+	deployments := make([]pia.Deployment, len(canon))
+	for i, d := range canon {
+		dep := make(pia.Deployment, len(d))
+		for j, name := range d {
+			dep[j] = index[name]
+		}
+		deployments[i] = dep
+	}
+	return n, cfg, provs, deployments, nil
+}
+
+// Local normalizes and runs the request in-process with no service — the
+// CLI's offline mode. It applies the exact defaults the service would, so
+// offline and served audits cannot drift; referencing a registered (non-
+// inline) provider is an error, since there is no registry to resolve it.
+func (r *PrivateAuditRequest) Local(ctx context.Context) (*PrivateAuditResponse, error) {
+	n, cfg, provs, deployments, err := r.normalize(nil)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]ProviderInfo, len(n.Providers))
+	for i, ref := range n.Providers {
+		infos[i] = ProviderInfo{Name: ref.Name, Fingerprint: ref.Fingerprint, Components: len(provs[i].Components)}
+	}
+	start := time.Now()
+	rep, err := pia.AuditDeploymentsContext(ctx, cfg, provs, deployments)
+	if err != nil {
+		return nil, err
+	}
+	resp := PrivateAuditResponseFromReport(rep, infos, n.Protocol, time.Since(start))
+	resp.Title = r.Title
+	return resp, nil
+}
+
+// PrivateAudit validates and accepts a private audit, returning the new
+// job's status. Private-audit jobs share the audit queue, worker pool,
+// result caches and cancellation plumbing: poll and fetch them through the
+// same /v1/audits/{id} endpoints.
+func (s *Server) PrivateAudit(req *PrivateAuditRequest) (JobStatus, error) {
+	return s.privateAudit(req, "")
+}
+
+// privateAudit is PrivateAudit with a recovery id: RecoverJobs replays
+// journaled requests through it so a crashed job reappears under its
+// original id.
+func (s *Server) privateAudit(req *PrivateAuditRequest, recoverID string) (JobStatus, error) {
+	n, cfg, provs, deployments, err := req.normalize(s.lookupProvider)
+	if err != nil {
+		return JobStatus{}, &statusErr{code: 400, err: err}
+	}
+	infos := make([]ProviderInfo, len(n.Providers))
+	for i, ref := range n.Providers {
+		infos[i] = ProviderInfo{Name: ref.Name, Fingerprint: ref.Fingerprint, Components: len(provs[i].Components)}
+	}
+	protocol := n.Protocol
+	pairs := len(deployments)
+	run := func(ctx context.Context) (any, error) {
+		start := time.Now()
+		rep, err := pia.AuditDeploymentsContext(ctx, cfg, provs, deployments)
+		if err != nil {
+			return nil, err
+		}
+		s.m.privatePairs.Add(int64(pairs))
+		return PrivateAuditResponseFromReport(rep, infos, protocol, time.Since(start)), nil
+	}
+	extra := &jobExtras{journalKind: journalKindPrivate, journalReq: req, recoverID: recoverID}
+	st, err := s.enqueue(n.key(), req.Title, req.TimeoutMS, run, extra)
+	if err == nil {
+		s.m.privateAudits.Add(1)
+	}
+	return st, err
+}
+
+// PrivateAuditResponse is the wire form of a completed private audit. Its
+// JSON is stable and NaN-safe: values that could be NaN or infinite are
+// omitted rather than encoded, which encoding/json rejects.
+type PrivateAuditResponse struct {
+	Title    string `json:"title,omitempty"`
+	Protocol string `json:"protocol"`
+	// Providers identifies the audited datasets by fingerprint and size —
+	// never by components.
+	Providers []ProviderInfo `json:"providers"`
+	// Pairs is how many deployments (pairs or larger groups) were audited.
+	Pairs   int                     `json:"pairs"`
+	Entries []PrivateAuditEntryWire `json:"entries"`
+	// BytesSent totals the protocol bandwidth across all entries.
+	BytesSent int64 `json:"bytes_sent"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// PairsPerSec is the batch throughput; omitted when the elapsed time
+	// was immeasurably small (a +Inf rate is not representable in JSON).
+	PairsPerSec *float64 `json:"pairs_per_sec,omitempty"`
+}
+
+// PrivateAuditEntryWire is one audited deployment, ranked most independent
+// (lowest Jaccard) first.
+type PrivateAuditEntryWire struct {
+	Providers []string `json:"providers"`
+	// Jaccard is the (exact or MinHash-estimated) similarity; omitted
+	// rather than NaN should a protocol ever fail to compute it.
+	Jaccard *float64 `json:"jaccard,omitempty"`
+	// Estimated marks MinHash-estimated similarities (§4.2.4).
+	Estimated bool  `json:"estimated,omitempty"`
+	BytesSent int64 `json:"bytes_sent,omitempty"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// PrivateAuditResponseFromReport converts a pia report to its wire form —
+// shared by the service worker and CLI clients rendering local audits.
+func PrivateAuditResponseFromReport(rep *report.PIAReport, providers []ProviderInfo, protocol string, elapsed time.Duration) *PrivateAuditResponse {
+	out := &PrivateAuditResponse{
+		Protocol:  protocol,
+		Providers: providers,
+		Pairs:     len(rep.Entries),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	for _, e := range rep.Entries {
+		w := PrivateAuditEntryWire{
+			Providers: e.Providers,
+			Estimated: e.Estimated,
+			BytesSent: e.BytesSent,
+			ElapsedNS: e.Elapsed.Nanoseconds(),
+		}
+		if !isNaN(e.Jaccard) {
+			j := e.Jaccard
+			w.Jaccard = &j
+		}
+		out.BytesSent += e.BytesSent
+		out.Entries = append(out.Entries, w)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate := float64(out.Pairs) / secs
+		out.PairsPerSec = &rate
+	}
+	return out
+}
+
+// isNaN avoids importing math for one comparison: NaN is the only value
+// that differs from itself.
+func isNaN(f float64) bool { return f != f }

@@ -223,3 +223,125 @@ func TestRecommendNormalizeErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestPrivateAuditNormalizeErrors pins every rejection path of
+// PrivateAuditRequest.normalize with the message fragment a client sees.
+func TestPrivateAuditNormalizeErrors(t *testing.T) {
+	valid := func() *PrivateAuditRequest {
+		return &PrivateAuditRequest{
+			Providers: []ProviderWire{
+				{Name: "a", Components: []string{"c1", "c2"}},
+				{Name: "b", Components: []string{"c2", "c3"}},
+			},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*PrivateAuditRequest)
+		wantErr string
+	}{
+		{"one provider", func(r *PrivateAuditRequest) { r.Providers = r.Providers[:1] }, "at least two providers"},
+		{"negative bits", func(r *PrivateAuditRequest) { r.Bits = -1 }, "negative option"},
+		{"negative minhash_m", func(r *PrivateAuditRequest) { r.MinHashM = -1 }, "negative option"},
+		{"negative minhash_threshold", func(r *PrivateAuditRequest) { r.MinHashThreshold = -1 }, "negative option"},
+		{"negative ks_blind_bits", func(r *PrivateAuditRequest) { r.KSBlindBits = -1 }, "negative option"},
+		{"negative workers", func(r *PrivateAuditRequest) { r.Workers = -1 }, "negative option"},
+		{"negative timeout", func(r *PrivateAuditRequest) { r.TimeoutMS = -1 }, "negative option"},
+		{"unknown protocol", func(r *PrivateAuditRequest) { r.Protocol = "magic" }, `unknown protocol "magic"`},
+		{"bits too small", func(r *PrivateAuditRequest) { r.Bits = 64 }, "too small"},
+		{"unnamed provider", func(r *PrivateAuditRequest) { r.Providers[1].Name = "" }, "has no name"},
+		{"duplicate provider", func(r *PrivateAuditRequest) { r.Providers[1].Name = "a" }, `duplicate provider "a"`},
+		{"empty component name", func(r *PrivateAuditRequest) { r.Providers[0].Components = []string{"c1", ""} }, "empty component name"},
+		{"reference without registry", func(r *PrivateAuditRequest) { r.Providers[0].Components = nil }, "no registry is available"},
+		{"single-provider deployment", func(r *PrivateAuditRequest) { r.Deployments = [][]string{{"a"}} }, "at least two providers"},
+		{"deployment with unknown provider", func(r *PrivateAuditRequest) { r.Deployments = [][]string{{"a", "zz"}} }, `unknown provider "zz"`},
+		{"deployment repeats provider", func(r *PrivateAuditRequest) { r.Deployments = [][]string{{"a", "a"}} }, `lists provider "a" twice`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := valid()
+			tc.mutate(req)
+			if _, _, _, _, err := req.normalize(nil); err == nil {
+				t.Fatal("normalize accepted an invalid request")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// An unknown reference with a registry present names the provider.
+	ref := valid()
+	ref.Providers[0].Components = nil
+	lookup := func(string) ([]string, string, bool) { return nil, "", false }
+	if _, _, _, _, err := ref.normalize(lookup); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("unknown reference error = %v", err)
+	}
+}
+
+// TestPrivateAuditNormalizeDefaults pins the canonical form: protocol and
+// key-size defaults land in the key, parallelism and titles stay out of it,
+// and deployment lists canonicalize order-insensitively.
+func TestPrivateAuditNormalizeDefaults(t *testing.T) {
+	base := &PrivateAuditRequest{
+		Providers: []ProviderWire{
+			{Name: "b", Components: []string{"c2", "c3"}},
+			{Name: "a", Components: []string{"c1", "c2"}},
+			{Name: "c", Components: []string{"c4"}},
+		},
+	}
+	n, cfg, provs, deps, err := base.normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Protocol != "p-sop" || n.Bits != 512 || cfg.Bits != 512 {
+		t.Fatalf("defaults: %+v", n)
+	}
+	if len(provs) != 3 || provs[0].Name != "a" || provs[2].Name != "c" {
+		t.Fatalf("providers not sorted: %+v", provs)
+	}
+	if len(deps) != 3 { // empty deployment list means every pair
+		t.Fatalf("all-pairs expansion: %+v", deps)
+	}
+
+	// Title, workers and timeout never reach the key; deployment order and
+	// intra-deployment name order do not either.
+	key := n.key()
+	noisy := &PrivateAuditRequest{
+		Title:     "different title",
+		Providers: base.Providers,
+		Deployments: [][]string{
+			{"c", "b"}, {"b", "a"}, {"c", "a"}, {"a", "b"},
+		},
+		Workers:   7,
+		TimeoutMS: 9999,
+	}
+	n2, _, _, _, err := noisy.normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.key() != key {
+		t.Fatalf("key drifted on non-semantic fields:\n%s\nvs\n%s", n2.key(), key)
+	}
+
+	// KS always estimates via MinHash: the default m is pinned into the key.
+	ks := &PrivateAuditRequest{Providers: base.Providers, Protocol: "ks"}
+	nks, cfgKS, _, _, err := ks.normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nks.MinHashM != 512 || cfgKS.MinHashM != 512 {
+		t.Fatalf("ks minhash default: %+v", nks)
+	}
+
+	// Cleartext ignores bits entirely, so it cannot split the key space.
+	c1 := &PrivateAuditRequest{Providers: base.Providers, Protocol: "cleartext"}
+	c2 := &PrivateAuditRequest{Providers: base.Providers, Protocol: "cleartext", Bits: 2048}
+	nc1, _, _, _, err1 := c1.normalize(nil)
+	nc2, _, _, _, err2 := c2.normalize(nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if nc1.key() != nc2.key() {
+		t.Fatal("cleartext bits leaked into the cache key")
+	}
+}

@@ -1,0 +1,124 @@
+package minhash
+
+// Signing benchmarks against the pre-rewrite baseline. legacySign is a
+// verbatim reimplementation of the original construction — one SHA-256 per
+// (element, hash function) pair — kept here as the recorded reference for
+// PERFORMANCE.md's MinHash table: the shipped hasher computes one SHA-256
+// per element and derives the m per-function values with a SplitMix64
+// finalizer, so the speedup is algorithmic and survives a single-core host.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// legacySign is the seed implementation: m independent keyed SHA-256 hashes
+// per element, minimum per function.
+func legacySign(m int, elements []string) []uint64 {
+	sig := make([]uint64, m)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	var key [8]byte
+	for i := 0; i < m; i++ {
+		binary.BigEndian.PutUint64(key[:], uint64(i)+1)
+		for _, e := range elements {
+			h := sha256.New()
+			h.Write(key[:])
+			h.Write([]byte(e))
+			v := binary.BigEndian.Uint64(h.Sum(nil)[:8])
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+func benchElements(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("pkg:component-%05d:1.2.%d", i, i%7)
+	}
+	return out
+}
+
+// BenchmarkSign compares the legacy per-function hashing, the current
+// one-base-hash construction, and the sharded parallel path, all at the
+// default m=512 over 1,000-element sets.
+func BenchmarkSign(b *testing.B) {
+	const m = 512
+	elements := benchElements(1000)
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sig := legacySign(m, elements); len(sig) != m {
+				b.Fatal("short signature")
+			}
+		}
+	})
+	h, err := NewHasher(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("current", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sig, err := h.Sign(elements); err != nil || len(sig) != m {
+				b.Fatal("short signature")
+			}
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if sig, err := h.SignParallel(elements, workers); err != nil || len(sig) != m {
+					b.Fatal("short signature")
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyEquivalentEstimates: the new family is a different hash family
+// (signatures differ) but an equally valid one — estimates from both stay
+// within the O(1/√m) bound of the true Jaccard on a known-overlap pair.
+func TestLegacyEquivalentEstimates(t *testing.T) {
+	const m = 512
+	a := benchElements(600)            // 0..599
+	bSet := append(benchElements(400), // 0..399 shared
+		"x:only-1", "x:only-2")
+	truth := 400.0 / 602.0
+
+	h, err := NewHasher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := h.Sign(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := h.Sign(bSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyEst := 0.0
+	la, lb := legacySign(m, a), legacySign(m, bSet)
+	for i := range la {
+		if la[i] == lb[i] {
+			legacyEst++
+		}
+	}
+	legacyEst /= m
+	bound := 3.0 / 22.6 // 3/√512, generous
+	if d := est - truth; d < -bound || d > bound {
+		t.Fatalf("current estimate %v vs truth %v exceeds bound", est, truth)
+	}
+	if d := legacyEst - truth; d < -bound || d > bound {
+		t.Fatalf("legacy estimate %v vs truth %v exceeds bound", legacyEst, truth)
+	}
+}

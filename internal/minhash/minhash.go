@@ -6,15 +6,28 @@
 // δ/m where δ counts the signature positions on which all k signatures
 // agree; the expected error is O(1/√m) [13].
 //
-// PIA uses MinHash to shrink large component-sets before the private set
-// intersection protocol (§4.2.4): the P-SOP input becomes the m signature
-// elements ("<i>:<minvalue>") instead of the raw components.
+// Construction: each element is hashed once with SHA-256 to a 64-bit base
+// value, and the i-th function's value is derived from the base with a
+// salted SplitMix64 finalizer. One cryptographic hash per element — instead
+// of m — keeps signing O(|S| + |S|·m) cheap word operations rather than
+// O(|S|·m) full digests; the derived family is the standard
+// one-base-hash-many-mixers construction used by production MinHash
+// implementations, and the empirical accuracy tests in this package hold the
+// O(1/√m) bound against it.
+//
+// Security model: MinHash is a compression step, not a privacy mechanism.
+// A signature reveals the per-function minima of the set it summarizes —
+// parties that must not learn each other's minima run the private set
+// intersection protocols of internal/psi over the signature *elements*
+// (§4.2.4): the P-SOP input becomes the m strings "<i>:<minvalue>" instead
+// of the raw components, so only the agreement count δ is learned.
 package minhash
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Signature is the vector of per-function minima of one set.
@@ -22,7 +35,8 @@ type Signature []uint64
 
 // Hasher computes signatures with a fixed family of m salted hash functions.
 type Hasher struct {
-	m int
+	m     int
+	seeds []uint64
 }
 
 // NewHasher returns a Hasher with m hash functions. Larger m gives smaller
@@ -31,43 +45,104 @@ func NewHasher(m int) (*Hasher, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("minhash: need at least one hash function, got %d", m)
 	}
-	return &Hasher{m: m}, nil
+	h := &Hasher{m: m, seeds: make([]uint64, m)}
+	for i := range h.seeds {
+		h.seeds[i] = splitmix64(uint64(i) + 1)
+	}
+	return h, nil
 }
 
 // M returns the number of hash functions.
 func (h *Hasher) M() int { return h.m }
 
-// hash64 computes the i-th hash function: the first 8 bytes of
-// SHA-256(i ‖ elem).
-func hash64(i int, elem string) uint64 {
-	var salt [4]byte
-	binary.LittleEndian.PutUint32(salt[:], uint32(i))
-	d := sha256.New()
-	d.Write(salt[:])
-	d.Write([]byte(elem))
-	var sum [sha256.Size]byte
-	d.Sum(sum[:0])
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mixer with
+// full avalanche, used both to derive the per-function seeds and to mix the
+// base hash under each seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// baseHash is the per-element cryptographic base: the first 8 bytes of
+// SHA-256(elem).
+func baseHash(elem string) uint64 {
+	sum := sha256.Sum256([]byte(elem))
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
 // Sign computes the signature of a set of elements. Signing an empty set is
 // an error: its minima are undefined.
 func (h *Hasher) Sign(elements []string) (Signature, error) {
+	return h.SignParallel(elements, 1)
+}
+
+// SignParallel computes the same signature as Sign with the elements
+// partitioned across up to workers goroutines, each folding a partial
+// minima vector that is merged at the end. The minimum is commutative, so
+// the result is identical for every worker count; workers <= 1 is the
+// sequential path.
+func (h *Hasher) SignParallel(elements []string, workers int) (Signature, error) {
 	if len(elements) == 0 {
 		return nil, fmt.Errorf("minhash: cannot sign an empty set")
 	}
-	sig := make(Signature, h.m)
-	for i := range sig {
-		sig[i] = ^uint64(0)
+	if workers > len(elements) {
+		workers = len(elements)
 	}
-	for _, e := range elements {
-		for i := 0; i < h.m; i++ {
-			if v := hash64(i, e); v < sig[i] {
+	if workers <= 1 {
+		sig := newMinima(h.m)
+		h.fold(sig, elements)
+		return sig, nil
+	}
+	parts := make([]Signature, workers)
+	var wg sync.WaitGroup
+	chunk := (len(elements) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(elements) {
+			hi = len(elements)
+		}
+		part := newMinima(h.m)
+		parts[w] = part
+		wg.Add(1)
+		go func(els []string) {
+			defer wg.Done()
+			h.fold(part, els)
+		}(elements[lo:hi])
+	}
+	wg.Wait()
+	sig := parts[0]
+	for _, part := range parts[1:] {
+		for i, v := range part {
+			if v < sig[i] {
 				sig[i] = v
 			}
 		}
 	}
 	return sig, nil
+}
+
+// newMinima allocates a minima vector initialized to the maximum value.
+func newMinima(m int) Signature {
+	sig := make(Signature, m)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	return sig
+}
+
+// fold lowers sig's minima by the given elements.
+func (h *Hasher) fold(sig Signature, elements []string) {
+	for _, e := range elements {
+		base := baseHash(e)
+		for i, seed := range h.seeds {
+			if v := splitmix64(base ^ seed); v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
 }
 
 // Estimate approximates the k-way Jaccard similarity of the signed sets as

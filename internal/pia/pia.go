@@ -4,17 +4,32 @@
 // through MinHash + P-SOP for large component-sets (§4.2.4), or through the
 // Kissner–Song baseline (§6.3.2). A cleartext mode exists for validation and
 // for the SIA-vs-PIA comparison of Fig. 9.
+//
+// Security model (§4.2.1): providers are honest but curious and do not
+// collude. Under ProtocolPSOP and ProtocolKS each provider learns only the
+// intersection cardinality |∩| (and, for P-SOP, the union cardinality |∪|)
+// of the audited component-sets — equivalently the Jaccard similarity — and
+// never another provider's raw components. MinHash compression preserves
+// that boundary by running the protocols over signature elements (§4.2.4).
+// ProtocolCleartext deliberately has no privacy: it is the trusted-auditor
+// comparison point of §6.3.3 and the validation oracle for the private
+// protocols.
 package pia
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"indaas/internal/crypto/commutative"
 	"indaas/internal/deps"
 	"indaas/internal/minhash"
 	"indaas/internal/psi"
 	"indaas/internal/report"
+	"indaas/internal/telemetry"
 )
 
 // Provider is one cloud provider's private dataset: the normalized
@@ -70,6 +85,16 @@ type Config struct {
 	MinHashThreshold int
 	// KSBlindBits forwards to psi.KSConfig.BlindBits.
 	KSBlindBits int
+	// Workers bounds how many deployments are audited concurrently and is
+	// also the parallelism of MinHash signing and the P-SOP encryption
+	// loops inside each pair. Minima and cardinalities are order-free, so
+	// the report is identical for every worker count; 0 or 1 is the
+	// sequential path.
+	Workers int
+	// Group optionally supplies a pre-agreed commutative group for
+	// ProtocolPSOP, skipping modulus generation. When nil, one group is
+	// generated per audit and shared by every pair of the batch.
+	Group *commutative.Group
 }
 
 // Deployment identifies a candidate redundancy deployment by provider
@@ -80,6 +105,15 @@ type Deployment []int
 // deployment (§4.2.4–§4.2.5) and returns the ranked PIA report: lowest
 // similarity (most independent) first.
 func AuditDeployments(cfg Config, providers []Provider, deployments []Deployment) (*report.PIAReport, error) {
+	return AuditDeploymentsContext(context.Background(), cfg, providers, deployments)
+}
+
+// AuditDeploymentsContext is AuditDeployments with cancellation and
+// parallelism: deployments are fanned across cfg.Workers goroutines, each
+// running the full per-pair protocol, and the run aborts with ctx's error
+// once the context ends. A telemetry trace attached to ctx receives the
+// "pia-pairs" phase and the pairs_audited count.
+func AuditDeploymentsContext(ctx context.Context, cfg Config, providers []Provider, deployments []Deployment) (*report.PIAReport, error) {
 	if len(providers) < 2 {
 		return nil, fmt.Errorf("pia: need at least two providers, got %d", len(providers))
 	}
@@ -94,20 +128,90 @@ func AuditDeployments(cfg Config, providers []Provider, deployments []Deployment
 	if len(deployments) == 0 {
 		return nil, fmt.Errorf("pia: no deployments to audit")
 	}
-	rep := &report.PIAReport{Title: fmt.Sprintf("%d providers, %d deployments (%s)",
-		len(providers), len(deployments), cfg.Protocol)}
-	for _, d := range deployments {
-		entry, err := auditOne(cfg, providers, d)
+	// One pre-agreed group amortizes modulus generation across every pair of
+	// the batch ("parties must share a modulus" is the documented reuse).
+	group := cfg.Group
+	if group == nil && cfg.Protocol == ProtocolPSOP {
+		bits := cfg.Bits
+		if bits == 0 {
+			bits = 1024
+		}
+		g, err := commutative.NewGroup(bits)
 		if err != nil {
 			return nil, err
 		}
-		rep.Entries = append(rep.Entries, *entry)
+		group = g
 	}
+
+	tr := telemetry.FromContext(ctx)
+	endPairs := tr.Start("pia-pairs")
+	defer endPairs()
+
+	rep := &report.PIAReport{Title: fmt.Sprintf("%d providers, %d deployments (%s)",
+		len(providers), len(deployments), cfg.Protocol)}
+	entries := make([]report.PIAEntry, len(deployments))
+	workers := cfg.Workers
+	if workers > len(deployments) {
+		workers = len(deployments)
+	}
+	if workers <= 1 {
+		for i, d := range deployments {
+			entry, err := auditOne(ctx, cfg, group, providers, d)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = *entry
+		}
+	} else {
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var (
+			wg       sync.WaitGroup
+			next     atomic.Int64
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(deployments) || cctx.Err() != nil {
+						return
+					}
+					entry, err := auditOne(cctx, cfg, group, providers, deployments[i])
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						cancel()
+						return
+					}
+					entries[i] = *entry
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	tr.Add("pairs_audited", int64(len(deployments)))
+	rep.Entries = entries
 	rep.Rank()
 	return rep, nil
 }
 
-func auditOne(cfg Config, providers []Provider, d Deployment) (*report.PIAEntry, error) {
+func auditOne(ctx context.Context, cfg Config, group *commutative.Group, providers []Provider, d Deployment) (*report.PIAEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(d) < 2 {
 		return nil, fmt.Errorf("pia: deployment %v needs at least two providers", d)
 	}
@@ -146,7 +250,7 @@ func auditOne(cfg Config, providers []Provider, d Deployment) (*report.PIAEntry,
 			jaccard = float64(inter) / float64(union)
 		}
 	case cfg.Protocol == ProtocolCleartext && useMinHash:
-		sigs, err := signAll(sets, m)
+		sigs, err := signAll(sets, m, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +260,7 @@ func auditOne(cfg Config, providers []Provider, d Deployment) (*report.PIAEntry,
 		}
 		jaccard = est
 	case cfg.Protocol == ProtocolPSOP && !useMinHash:
-		res, err := psi.PSOP(psi.PSOPConfig{Bits: cfg.Bits}, sets)
+		res, err := psi.PSOPContext(ctx, psi.PSOPConfig{Bits: cfg.Bits, Group: group, Workers: cfg.Workers}, sets)
 		if err != nil {
 			return nil, err
 		}
@@ -169,18 +273,18 @@ func auditOne(cfg Config, providers []Provider, d Deployment) (*report.PIAEntry,
 	case cfg.Protocol == ProtocolPSOP && useMinHash:
 		// §4.2.4: run P-SOP over the signature elements; the agreement
 		// count is |∩ of signatures| and J ≈ |∩|/m.
-		sigSets, err := signatureElements(sets, m)
+		sigSets, err := signatureElements(sets, m, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		res, err := psi.PSOP(psi.PSOPConfig{Bits: cfg.Bits}, sigSets)
+		res, err := psi.PSOPContext(ctx, psi.PSOPConfig{Bits: cfg.Bits, Group: group, Workers: cfg.Workers}, sigSets)
 		if err != nil {
 			return nil, err
 		}
 		jaccard = float64(res.Intersection) / float64(m)
 		bytes = res.Stats.BytesSent
 	case cfg.Protocol == ProtocolKS:
-		sigSets, err := signatureElements(sets, m)
+		sigSets, err := signatureElements(sets, m, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -202,14 +306,14 @@ func auditOne(cfg Config, providers []Provider, d Deployment) (*report.PIAEntry,
 	}, nil
 }
 
-func signAll(sets [][]string, m int) ([]minhash.Signature, error) {
+func signAll(sets [][]string, m, workers int) ([]minhash.Signature, error) {
 	h, err := minhash.NewHasher(m)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]minhash.Signature, len(sets))
 	for i, s := range sets {
-		sig, err := h.Sign(s)
+		sig, err := h.SignParallel(s, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -218,8 +322,8 @@ func signAll(sets [][]string, m int) ([]minhash.Signature, error) {
 	return out, nil
 }
 
-func signatureElements(sets [][]string, m int) ([][]string, error) {
-	sigs, err := signAll(sets, m)
+func signatureElements(sets [][]string, m, workers int) ([][]string, error) {
+	sigs, err := signAll(sets, m, workers)
 	if err != nil {
 		return nil, err
 	}

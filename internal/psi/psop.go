@@ -1,11 +1,13 @@
 package psi
 
 import (
+	"context"
 	cryptorand "crypto/rand"
 	"fmt"
 	"io"
 	"math/big"
 	mathrand "math/rand"
+	"sync"
 
 	"indaas/internal/crypto/commutative"
 )
@@ -22,6 +24,12 @@ type PSOPConfig struct {
 	// required for non-builtin sizes when parties must share a modulus, and
 	// useful to amortize setup in benches.
 	Group *commutative.Group
+	// Workers parallelizes the modular-exponentiation loops — each party
+	// encrypting its own dataset and every re-encryption hop — across up to
+	// Workers goroutines. Key generation and permutation stay sequential so
+	// a fixed Rand still yields a deterministic transcript; the protocol
+	// result is identical for every worker count. 0 or 1 is sequential.
+	Workers int
 }
 
 // PSOP runs the private set intersection cardinality protocol of §4.2.2 over
@@ -37,6 +45,12 @@ type PSOPConfig struct {
 // parties then share the encrypted datasets and count |∩| and |∪| on
 // ciphertexts.
 func PSOP(cfg PSOPConfig, sets [][]string) (*Result, error) {
+	return PSOPContext(context.Background(), cfg, sets)
+}
+
+// PSOPContext is PSOP with cancellation: the encryption loops poll ctx and
+// abandon the run with ctx's error once it is done.
+func PSOPContext(ctx context.Context, cfg PSOPConfig, sets [][]string) (*Result, error) {
 	k := len(sets)
 	if k < 2 {
 		return nil, fmt.Errorf("psi: P-SOP needs at least two parties, got %d", k)
@@ -89,8 +103,12 @@ func PSOP(cfg PSOPConfig, sets [][]string) (*Result, error) {
 	for i, s := range sets {
 		uniq := disambiguate(s)
 		ds := make([]*big.Int, len(uniq))
-		for j, e := range uniq {
-			ds[j] = keys[i].Encrypt(group.HashToGroup([]byte(e)))
+		key := keys[i]
+		err := parallelFor(ctx, len(uniq), cfg.Workers, func(j int) {
+			ds[j] = key.Encrypt(group.HashToGroup([]byte(uniq[j])))
+		})
+		if err != nil {
+			return nil, err
 		}
 		permute(perms[i], ds)
 		datasets[i] = ds
@@ -103,8 +121,12 @@ func PSOP(cfg PSOPConfig, sets [][]string) (*Result, error) {
 			sender := (owner + hop - 1) % k
 			stats.send(sender, int64(len(datasets[owner]))*elemSize)
 			ds := datasets[owner]
-			for j, c := range ds {
-				ds[j] = keys[holder].Encrypt(c)
+			key := keys[holder]
+			err := parallelFor(ctx, len(ds), cfg.Workers, func(j int) {
+				ds[j] = key.Encrypt(ds[j])
+			})
+			if err != nil {
+				return nil, err
 			}
 			permute(perms[holder], ds)
 		}
@@ -121,6 +143,40 @@ func PSOP(cfg PSOPConfig, sets [][]string) (*Result, error) {
 	// sets, so min/max counts reduce to membership.
 	inter, union := countCiphertexts(group, datasets)
 	return &Result{Intersection: inter, Union: union, Stats: stats}, nil
+}
+
+// parallelFor runs fn(0..n-1) across up to workers goroutines (striped so
+// slot j is always written exactly once), polling ctx between elements. With
+// workers <= 1 it degrades to a plain loop. It returns ctx's error if the
+// context ended before every element was processed.
+func parallelFor(ctx context.Context, n, workers int, fn func(j int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			if j&0x3f == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(j)
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < n; j += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(j)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 func permute(rng *mathrand.Rand, ds []*big.Int) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Markdown link lint: every relative link target in the repo's markdown
+# files must exist on disk, so README/ARCHITECTURE/PERFORMANCE cross-
+# references cannot silently rot when files move. External (scheme://),
+# mailto: and pure-anchor (#…) links are out of scope — no network access,
+# plain bash + grep + awk only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+    # Inline links: [text](target). Extract the target, strip any #fragment
+    # and surrounding angle brackets; skip absolute URLs and bare anchors.
+    while IFS= read -r target; do
+        case "$target" in
+        '' | '#'* | *'://'* | mailto:*) continue ;;
+        esac
+        target=${target%%#*}
+        [ -n "$target" ] || continue
+        base=$(dirname "$file")
+        if [ ! -e "$base/$target" ] && [ ! -e "$target" ]; then
+            echo "$file: broken relative link: $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)[:space:]]+\)' "$file" | sed -E 's/^\]\(<?//; s/>?\)$//')
+done < <(find . -name '*.md' -not -path './.git/*' -not -path './related/*')
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_markdown_links: broken links found" >&2
+    exit 1
+fi
+echo "check_markdown_links: all relative markdown links resolve"

@@ -22,6 +22,13 @@
 #       memory-only serving (healthz reports it), keeps answering audits, and
 #       restores durable mode once writes succeed again.
 #
+#   ./scripts/smoke.sh pia        private-audit leg: serve with -data-dir,
+#       register two provider component sets (distinct fingerprints), run a
+#       served P-SOP private audit and diff its report (clock-dependent
+#       fields zeroed) against the golden file; assert resubmission is a
+#       fingerprint-keyed cache hit that runs no new computation and that
+#       the private-audit metrics counted the job.
+#
 #   ./scripts/smoke.sh stream     streaming leg: serve durable with a rate
 #       limit, subscribe a raw SSE watcher over GET /v1/watch, replay agent
 #       churn with `indaas loadgen` (whose own watch probe must see re-audit
@@ -40,6 +47,7 @@ ADDR=${SMOKE_ADDR:-127.0.0.1:7085}
 BASE="http://$ADDR"
 GOLDEN=internal/auditd/testdata/e2e_report_golden.json
 RECOMMEND_GOLDEN=internal/auditd/testdata/e2e_recommend_golden.json
+PIA_GOLDEN=internal/auditd/testdata/smoke_private_audit_golden.json
 TMP=$(mktemp -d)
 SERVE_PID=
 SERVE_LOG="$TMP/serve.log"
@@ -297,6 +305,53 @@ if [ "$MODE" = chaos ]; then
     exit 0
 fi
 
+if [ "$MODE" = pia ]; then
+    DATA="$TMP/data"
+    start_daemon -data-dir "$DATA"
+
+    # Register the two provider component sets; the daemon answers each with
+    # its canonical dataset fingerprint, and different sets must get
+    # different fingerprints (they key the private-audit content address).
+    FPA=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data '{"name":"CloudA","components":["pkg:linux-image","pkg:libc6","pkg:openssl","pkg:nginx","pkg:zookeeper","pkg:java-runtime"]}' \
+        "$BASE/v1/providers" | jq -r .fingerprint)
+    FPB=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data '{"name":"CloudB","components":["pkg:linux-image","pkg:libc6","pkg:openssl","pkg:httpd","pkg:erlang"]}' \
+        "$BASE/v1/providers" | jq -r .fingerprint)
+    { [ -n "$FPA" ] && [ "$FPA" != null ] && [ -n "$FPB" ] && [ "$FPB" != null ]; } ||
+        die "provider registration returned no fingerprint"
+    [ "$FPA" != "$FPB" ] || die "distinct datasets share a fingerprint: $FPA"
+    [ "$("${CURL[@]}" "$BASE/v1/providers" | jq '.providers | length')" = 2 ] ||
+        die "GET /v1/providers does not list both registered providers"
+
+    # Run the P-SOP audit over the registered datasets and diff the report
+    # against the golden (wall-clock and crypto-payload sizes zeroed — the
+    # modulus is fresh per run; the Jaccard, ranking and fingerprints are
+    # deterministic).
+    PIA_NORM='.elapsed_ns = 0 | .pairs_per_sec = 0 | .bytes_sent = 0
+        | .entries[].elapsed_ns = 0 | .entries[].bytes_sent = 0'
+    ID=$(submit v1/private-audits @scripts/private_audit_request.json)
+    wait_done "$ID" private-audit
+    "${CURL[@]}" "$BASE/v1/audits/$ID/report" > "$TMP/pia.json"
+    diff <(jq -S "$PIA_NORM" "$TMP/pia.json") <(jq -S . "$PIA_GOLDEN")
+
+    # Resubmitting the identical audit must be a cache hit keyed on the
+    # provider fingerprints: answered done, no new computation.
+    COMPUTATIONS_BEFORE=$(metric auditd_computations_total)
+    HIT=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+        --data @scripts/private_audit_request.json "$BASE/v1/private-audits")
+    [ "$(jq -r '.cached == true and .state == "done"' <<<"$HIT")" = true ] ||
+        die "identical private-audit resubmission was not a cache hit: $HIT"
+    [ "$(metric auditd_computations_total)" = "$COMPUTATIONS_BEFORE" ] ||
+        die "private-audit resubmission ran a new computation"
+
+    [ "$(metric auditd_private_audits_total)" -ge 1 ] || die "auditd_private_audits_total did not count the audit"
+    [ "$(metric auditd_private_pairs_total)" -ge 1 ] || die "auditd_private_pairs_total did not count the pair"
+
+    echo "smoke OK: private audit matched the golden report; resubmission hit the fingerprint-keyed cache with computations unchanged"
+    exit 0
+fi
+
 if [ "$MODE" = stream ]; then
     DATA="$TMP/data"
     # The admission cap sits below the loadgen target so the 429/Retry-After
@@ -346,4 +401,4 @@ if [ "$MODE" = stream ]; then
     exit 0
 fi
 
-die "unknown mode $MODE (want base, restart, chaos or stream)"
+die "unknown mode $MODE (want base, restart, chaos, pia or stream)"
