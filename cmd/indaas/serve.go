@@ -9,10 +9,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"indaas/internal/auditd"
+	"indaas/internal/cluster"
 	"indaas/internal/depdb"
 	"indaas/internal/faultinject"
 	"indaas/internal/store"
@@ -43,6 +45,9 @@ func cmdServe(args []string) error {
 	ingestRate := fs.Float64("ingest-rate", 0, "admission cap on /v1/depdb in records/second; excess ingests get 429 + Retry-After (0 = unlimited)")
 	ingestBurst := fs.Float64("ingest-burst", 0, "ingest token bucket depth in records (0 = one second of -ingest-rate)")
 	watchBuffer := fs.Int("watch-buffer", 0, "per-subscriber watch event queue; overflowing subscribers are evicted (0 = default 16)")
+	peersFlag := fs.String("peers", "", "comma-separated peer addresses to form a cluster with (e.g. 'http://10.0.0.2:7080,http://10.0.0.3:7080'; empty = single node)")
+	advertise := fs.String("advertise", "", "address peers reach this node at (default: the -listen address)")
+	clusterPoll := fs.Duration("cluster-poll", 2*time.Second, "peer health poll interval when -peers is set")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error (debug includes /metrics and /healthz scrapes)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	debugAddr := fs.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled); serves /debug/pprof/ only, keep it private")
@@ -104,7 +109,7 @@ func cmdServe(args []string) error {
 			db = restored
 		}
 	}
-	svc := auditd.New(auditd.Config{
+	cfg := auditd.Config{
 		Workers:               *workers,
 		QueueDepth:            *queue,
 		CacheEntries:          *cacheEntries,
@@ -117,7 +122,35 @@ func cmdServe(args []string) error {
 		IngestRate:            *ingestRate,
 		IngestBurst:           *ingestBurst,
 		WatchBuffer:           *watchBuffer,
-	})
+	}
+	// With -peers, hang the cluster layer off the service's seams: the
+	// executor wrapper routes workloads to their hash owners, the peer tier
+	// probes the owner's cache behind memory and disk, the replication hook
+	// pushes ingests fleet-wide, and the cluster series join /metrics.
+	var node *cluster.Node
+	if *peersFlag != "" {
+		self := *advertise
+		if self == "" {
+			self = *listen
+		}
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		node = cluster.New(cluster.Config{Self: self, Peers: peers, PollInterval: *clusterPoll})
+		cfg.WrapExecutor = node.WrapExecutor
+		cfg.ExtraTiers = []auditd.ResultTier{node.PeerTier()}
+		cfg.ReplicateHook = node.Replicate
+		cfg.ExtraMetrics = node.RenderMetrics
+		log.Info("clustering enabled", "self", self, "peers", len(peers))
+	}
+	svc := auditd.New(cfg)
+	if node != nil {
+		node.Start()
+		defer node.Stop()
+	}
 	// Without the ticker, size/age eviction only runs inside store writes,
 	// so an idle daemon would never enforce -store-max-age.
 	stopGC := svc.StartStoreGC(*storeGCInterval)

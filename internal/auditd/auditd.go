@@ -27,8 +27,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"time"
 
@@ -100,6 +100,27 @@ type Config struct {
 	// Now overrides the clock the store circuit breaker and the ingest rate
 	// limiter use (tests only).
 	Now func() time.Time
+
+	// WrapExecutor, when set, wraps the in-process worker pool in another
+	// Executor before the server starts using it. internal/cluster installs
+	// its forwarding executor here; the wrapped local pool stays the
+	// fallback. The returned executor owns the local one's lifecycle: its
+	// Close/Wait must close and wait the pool.
+	WrapExecutor func(local Executor) Executor
+	// ExtraTiers are additional result tiers probed after memory and disk on
+	// a cache miss — a clustered node adds a peer-cache tier here. Probed in
+	// order without the server's lock held; tiers synchronize themselves.
+	ExtraTiers []ResultTier
+	// ReplicateHook, when set, is called by the ingest committer after a
+	// commit group lands locally and before its waiters are acknowledged,
+	// with the wire records of every locally originated (non-replicated)
+	// ingest in the group. internal/cluster uses it to push the records to
+	// peers so DepDB fingerprints converge across the fleet.
+	ReplicateHook func(records []RecordWire)
+	// ExtraMetrics, when set, is rendered after the built-in counters on
+	// GET /metrics (Prometheus text exposition). internal/cluster appends
+	// its auditd_cluster_* series here.
+	ExtraMetrics func(w io.Writer)
 }
 
 func (c *Config) defaults() {
@@ -129,18 +150,21 @@ const (
 	StateCanceled = "canceled"
 )
 
-// computation is one unit of queued work; several coalesced jobs may wait
-// on it. run is the actual workload — an audit or a placement
-// recommendation — so the queue, worker pool, cache and cancellation
-// plumbing are shared across job kinds.
+// computation is one unit of submitted work; several coalesced jobs may wait
+// on it. The actual workload — an audit or a placement recommendation — is
+// the Workload handed to the executor, so the queue, worker pool, cache and
+// cancellation plumbing are shared across job kinds.
 type computation struct {
 	key     string
 	ctx     context.Context
 	cancel  context.CancelFunc
-	run     func(ctx context.Context) (any, error)
 	jobs    []*job // attached jobs, including canceled ones
 	refs    int    // attached jobs still interested in the result
-	running bool   // a worker picked it up (guarded by Server.mu)
+	running bool   // the executor started it (guarded by Server.mu)
+	// label names the computation in store-failure logs ("job <id>" of the
+	// first attached job); set by compStarted, read only by compDone on the
+	// same goroutine afterward.
+	label string
 	// reg, when set, publishes the completed result into the delta-audit
 	// lineage index so later submissions against a grown database can reuse
 	// it (see delta.go).
@@ -201,16 +225,22 @@ type Server struct {
 	cfg     Config
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *computation
-	wg      sync.WaitGroup
-	m       metrics
+	// exec runs every computation: the in-process worker pool, or whatever
+	// Config.WrapExecutor put in front of it (a cluster router).
+	exec Executor
+	wg   sync.WaitGroup
+	m    metrics
+	// tiers is the result-tier probe chain: tiers[0] is always the memory
+	// LRU (aliased as cache), then disk when a store is configured, then
+	// Config.ExtraTiers.
+	tiers []ResultTier
 
 	mu       sync.Mutex
 	db       *depdb.DB // cfg.DB, or created lazily by the first ingest
 	jobs     map[string]*job
 	order    []string // job IDs in submission order
 	inflight map[string]*computation
-	cache    *resultCache
+	cache    *memoryTier
 	lineage  *lineageIndex // delta-audit ancestry (see delta.go)
 	nextID   uint64
 	closed   bool
@@ -258,12 +288,11 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		baseCtx:   ctx,
 		stop:      cancel,
-		queue:     make(chan *computation, cfg.QueueDepth),
 		db:        cfg.DB,
 		jobs:      make(map[string]*job),
 		providers: make(map[string]providerDataset),
 		inflight:  make(map[string]*computation),
-		cache:     newResultCache(cfg.CacheEntries),
+		cache:     newMemoryTier(cfg.CacheEntries),
 		lineage:   newLineageIndex(),
 		store:     cfg.Store,
 		breaker:   newBreaker(cfg.StoreFailureThreshold, cfg.StoreRetryInterval, cfg.Now),
@@ -272,6 +301,18 @@ func New(cfg Config) *Server {
 		began:     time.Now(),
 	}
 	s.ingestLimit = newTokenBucket(cfg.IngestRate, cfg.IngestBurst, cfg.Now)
+	// Assemble the result-tier chain: memory, then disk, then any extras.
+	s.tiers = append(s.tiers, s.cache)
+	if s.store != nil {
+		s.tiers = append(s.tiers, &diskTier{s: s})
+	}
+	s.tiers = append(s.tiers, cfg.ExtraTiers...)
+	// The executor owns the worker pool; WrapExecutor may interpose a
+	// cluster router in front of it.
+	s.exec = newLocalExecutor(cfg.Workers, cfg.QueueDepth, &s.m, cfg.RunHook)
+	if cfg.WrapExecutor != nil {
+		s.exec = cfg.WrapExecutor(s.exec)
+	}
 	if s.store != nil {
 		// Resume the persisted snapshot chain where the store left it so the
 		// next ingest appends a segment instead of restarting a generation.
@@ -280,10 +321,6 @@ func New(cfg Config) *Server {
 		// in particular before RecoverJobs replays journaled private audits
 		// that reference registered datasets.
 		s.restoreProviders()
-	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
 	}
 	s.wg.Add(1)
 	go s.ingestCommitter()
@@ -316,7 +353,12 @@ func (s *Server) submit(req *SubmitRequest, recoverID string) (JobStatus, error)
 		}
 		return rep, nil
 	}
-	extra := &jobExtras{journalKind: journalKindAudit, journalReq: req, recoverID: recoverID}
+	extra := &jobExtras{
+		journalKind: journalKindAudit, journalReq: req, recoverID: recoverID,
+		wire: req, dbFP: n.DBFingerprint,
+		selfContained: len(req.Records) > 0,
+		noForward:     req.NoForward || recoverID != "",
+	}
 	if len(req.Records) == 0 {
 		// Server-database jobs participate in the delta lineage: register the
 		// (fingerprint, snapshot, specs) generation on completion, and try to
@@ -329,6 +371,9 @@ func (s *Server) submit(req *SubmitRequest, recoverID string) (JobStatus, error)
 			extra.applyPlan(plan)
 			if plan.run != nil {
 				run = plan.run
+				// A delta splice embeds local lineage state; it cannot be
+				// re-expressed to a remote node.
+				extra.noForward = true
 			}
 		}
 	}
@@ -380,6 +425,12 @@ type jobExtras struct {
 	journalKind string
 	journalReq  any
 	recoverID   string
+	// wire/dbFP/selfContained/noForward populate the Workload's routing
+	// facts (see executor.go) when the job actually computes.
+	wire          any
+	dbFP          string
+	selfContained bool
+	noForward     bool
 }
 
 // applyPlan folds a delta plan into the extras.
@@ -437,7 +488,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 	if extra.adopt != nil {
 		// Delta hit: the database changed but the change missed this job's
 		// subjects, so the ancestor result answers it verbatim.
-		s.cache.put(key, extra.adopt)
+		s.cache.Put(key, extra.adopt)
 		j.state = StateDone
 		j.deltaHit = true
 		j.started, j.finished = j.submitted, j.submitted
@@ -463,26 +514,28 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 
 	var res any
 	var hit, diskHit bool
-	if r, ok := s.cache.get(key); ok {
+	if r, ok := s.cache.Get(key); ok {
 		res, hit = r, true
-	} else if s.store != nil && s.inflight[key] == nil {
-		// Probe the disk tier with the job-table lock released: reading,
-		// checksumming and decoding a large persisted report must not stall
-		// unrelated submits and polls. The memory fast path above never
-		// pays for this.
+	} else if len(s.tiers) > 1 && s.inflight[key] == nil {
+		// Probe the lower result tiers — disk, then any extras (a cluster
+		// peer's cache) — with the job-table lock released: reading,
+		// checksumming and decoding a large persisted report (or fetching it
+		// over HTTP) must not stall unrelated submits and polls. The memory
+		// fast path above never pays for this.
 		s.mu.Unlock()
-		r, ok := s.diskGet(key)
+		r, tier, ok := s.probeLowerTiers(key)
 		s.mu.Lock()
 		if s.closed {
-			// Shutdown began during the probe; the queue may be closed.
+			// Shutdown began during the probe; the executor may be closed.
 			s.m.rejected.Add(1)
 			return JobStatus{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
 		}
 		if ok {
 			// An identical job may have promoted the same bytes during the
 			// probe; overwriting with an equal decode is harmless.
-			s.cache.put(key, r)
-			res, hit, diskHit = r, true, true
+			s.cache.Put(key, r)
+			res, hit = r, true
+			diskHit = tier == tierDisk
 		}
 	}
 
@@ -504,7 +557,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 			return JobStatus{}, &statusErr{code: 503, err: errors.New("service is shutting down")}
 		}
 		j.journaled = jr != nil
-		if r, ok := s.cache.get(key); ok {
+		if r, ok := s.cache.Get(key); ok {
 			// The identical computation completed while the journal write was
 			// in flight; serve the hit.
 			res, hit = r, true
@@ -568,15 +621,26 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 			key:       key,
 			ctx:       cctx,
 			cancel:    cancel,
-			run:       run,
 			jobs:      []*job{j},
 			refs:      1,
 			reg:       extra.reg,
 			trace:     tr,
 			queueDone: tr.StartAt("queue-wait", j.submitted),
 		}
-		select {
-		case s.queue <- comp:
+		wl := &Workload{
+			Key:           key,
+			Kind:          extra.journalKind,
+			Wire:          extra.wire,
+			DBFingerprint: extra.dbFP,
+			SelfContained: extra.selfContained,
+			NoForward:     extra.noForward || extra.wire == nil,
+			Run:           run,
+		}
+		cb := ExecCallbacks{
+			Started: func() { s.compStarted(comp) },
+			Done:    func(res any, err error) { s.compDone(comp, res, err) },
+		}
+		if err := s.exec.Submit(cctx, wl, cb); err == nil {
 			j.state = StateQueued
 			j.comp = comp
 			s.inflight[key] = comp
@@ -587,7 +651,7 @@ func (s *Server) enqueue(key, title string, timeoutMS int64, run func(ctx contex
 				s.m.deltaPartials.Add(1)
 				s.m.deltaDirty.Add(int64(len(extra.dirty)))
 			}
-		default:
+		} else {
 			cancel()
 			s.m.rejected.Add(1)
 			if j.journaled && extra.recoverID == "" {
@@ -657,28 +721,14 @@ func (s *Server) expireJob(id string, after time.Duration) {
 	s.clearJournals(cleared)
 }
 
-// worker drains the queue until Shutdown closes it.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for comp := range s.queue {
-		s.runComputation(comp)
-	}
-}
-
-// runComputation executes one computation and finishes its attached jobs.
-func (s *Server) runComputation(comp *computation) {
+// compStarted is the executor's Started callback: the computation left the
+// queue and is about to run. It closes the queue-wait phase and moves every
+// attached job into StateRunning.
+func (s *Server) compStarted(comp *computation) {
 	s.mu.Lock()
-	if comp.ctx.Err() != nil || comp.refs == 0 {
-		// Canceled while queued: discard without running.
-		if comp.queueDone != nil {
-			comp.queueDone() // don't leave the phase open on the dead trace
-		}
-		s.finishLocked(comp, nil, comp.ctx.Err())
-		s.mu.Unlock()
-		return
-	}
+	defer s.mu.Unlock()
 	comp.running = true
-	label := "job " + comp.jobs[0].id // first attached job; fixed for the computation's life
+	comp.label = "job " + comp.jobs[0].id // first attached job; fixed for the computation's life
 	now := time.Now()
 	if comp.queueDone != nil {
 		comp.queueDone()
@@ -691,14 +741,23 @@ func (s *Server) runComputation(comp *computation) {
 			s.armTimeoutLocked(j)
 		}
 	}
-	s.mu.Unlock()
+}
 
-	s.m.busyWorkers.Add(1)
-	s.m.computations.Add(1)
-	computeStart := time.Now()
-	res, err := s.execute(comp)
-	s.m.compute.Observe(time.Since(computeStart))
-	s.m.busyWorkers.Add(-1)
+// compDone is the executor's Done callback: the computation finished (or was
+// discarded while queued — then running is still false and err carries the
+// cancellation). It persists the result, settles every attached job and
+// tombstones their journal records.
+func (s *Server) compDone(comp *computation, res any, err error) {
+	if !comp.running {
+		// Canceled while queued: the executor discarded it without running.
+		s.mu.Lock()
+		if comp.queueDone != nil {
+			comp.queueDone() // don't leave the phase open on the dead trace
+		}
+		s.finishLocked(comp, nil, err)
+		s.mu.Unlock()
+		return
+	}
 
 	// Write through to the disk store BEFORE any waiter observes "done": a
 	// client that sees its job complete may kill -9 the daemon immediately
@@ -709,7 +768,7 @@ func (s *Server) runComputation(comp *computation) {
 		if s.store != nil {
 			endPersist = comp.trace.Start("persist")
 		}
-		evicted = s.persistResult(label, comp.key, res)
+		evicted = s.persistResult(comp.label, comp.key, res)
 		endPersist()
 	}
 
@@ -723,26 +782,6 @@ func (s *Server) runComputation(comp *computation) {
 	s.clearJournals(cleared)
 }
 
-// execute runs one computation's workload behind the panic barrier and the
-// optional RunHook fault-injection seam. A panicking workload fails only
-// its own jobs — the stack lands in JobStatus.Error — while the worker and
-// the rest of the daemon keep serving.
-func (s *Server) execute(comp *computation) (res any, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.m.workerPanics.Add(1)
-			res = nil
-			err = fmt.Errorf("worker panic: %v\n%s", r, debug.Stack())
-		}
-	}()
-	if hook := s.cfg.RunHook; hook != nil {
-		if err := hook(comp.ctx, comp.key); err != nil {
-			return nil, err
-		}
-	}
-	return comp.run(comp.ctx)
-}
-
 // finishLocked records a computation's outcome, caches successful results,
 // and settles every attached job. Caller holds s.mu.
 func (s *Server) finishLocked(comp *computation, res any, err error) {
@@ -751,7 +790,7 @@ func (s *Server) finishLocked(comp *computation, res any, err error) {
 		delete(s.inflight, comp.key)
 	}
 	if err == nil && res != nil {
-		s.cache.put(comp.key, res)
+		s.cache.Put(comp.key, res)
 		if comp.reg != nil {
 			comp.reg.entry.resultKey = comp.key
 			s.lineage.addLocked(comp.reg)
@@ -902,11 +941,12 @@ func (s *Server) Report(id string) (*report.Report, error) {
 	return rep, nil
 }
 
-// Cached returns the cached result for a content-address, if present.
+// Cached returns the in-memory cached result for a content-address, if
+// present. Deliberately memory-only: a clustered peer probes this endpoint
+// through its peer tier, and answering from lower tiers here would let two
+// nodes probe each other in a loop.
 func (s *Server) Cached(key string) (any, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, ok := s.cache.get(key)
+	res, ok := s.cache.Get(key)
 	if !ok {
 		return nil, &statusErr{code: 404, err: fmt.Errorf("no cached result for %s", key)}
 	}
@@ -926,9 +966,7 @@ func (s *Server) Jobs() []JobStatus {
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	entries := s.cache.len()
-	s.mu.Unlock()
+	entries := s.cache.Len()
 	var storeStats store.Stats
 	if s.store != nil {
 		storeStats = s.store.Stats()
@@ -956,7 +994,7 @@ func (s *Server) Stats() Stats {
 		Rejected:        s.m.rejected.Load(),
 		Computations:    s.m.computations.Load(),
 		BusyWorkers:     s.m.busyWorkers.Load(),
-		QueueDepth:      len(s.queue),
+		QueueDepth:      s.exec.QueueDepth(),
 		Workers:         s.cfg.Workers,
 		CacheEntries:    entries,
 		Recommendations: s.m.recommendations.Load(),
@@ -1089,7 +1127,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
+	s.exec.Close()
 	s.mu.Unlock()
 
 	// Every ingest admitted before closed flipped is either already on the
@@ -1103,6 +1141,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
+		s.exec.Wait()
 		s.wg.Wait()
 		s.watchWG.Wait()
 		close(done)

@@ -97,7 +97,8 @@ func BenchmarkSubmitDiskHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s.mu.Lock()
-		s.cache = newResultCache(s.cfg.CacheEntries)
+		s.cache = newMemoryTier(s.cfg.CacheEntries)
+		s.tiers[0] = s.cache
 		s.mu.Unlock()
 		b.StartTimer()
 		st, err := s.Submit(req)

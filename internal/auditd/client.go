@@ -13,6 +13,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -66,8 +67,15 @@ func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
 
 // Client talks to an audit service over its HTTP/JSON API.
 type Client struct {
-	base string
-	hc   *http.Client
+	// bases lists the endpoints this client may talk to: the NewClient base
+	// first, then any SetPeers additions. Requests target the current base;
+	// a refused connection rotates to the next one, so failover retries move
+	// on to a live node instead of hammering a dead one.
+	bases []string
+	idx   atomic.Int64
+	// header holds extra headers applied to every request (see SetHeader).
+	header map[string]string
+	hc     *http.Client
 	// Retry is the transient-failure policy applied to every call. Submits,
 	// polls, and report fetches are content-addressed or read-only, hence
 	// idempotent and always retried; Ingest appends records, so it is only
@@ -82,7 +90,55 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc, Retry: DefaultRetryPolicy}
+	return &Client{bases: []string{strings.TrimRight(base, "/")}, hc: hc, Retry: DefaultRetryPolicy}
+}
+
+// SetPeers adds fallback endpoints the client rotates to when the current
+// one refuses connections — the other nodes of an auditd cluster, where any
+// node can answer any request. Endpoints already known are skipped.
+// Configure peers before issuing requests; SetPeers is not safe to call
+// concurrently with in-flight calls.
+func (c *Client) SetPeers(peers ...string) {
+	for _, p := range peers {
+		p = strings.TrimRight(p, "/")
+		if p == "" {
+			continue
+		}
+		known := false
+		for _, b := range c.bases {
+			if b == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			c.bases = append(c.bases, p)
+		}
+	}
+}
+
+// SetHeader attaches a header to every request the client sends (the
+// cluster router uses this to mark forwarded and replicated traffic).
+// Configure headers before issuing requests; SetHeader is not safe to call
+// concurrently with in-flight calls.
+func (c *Client) SetHeader(key, value string) {
+	if c.header == nil {
+		c.header = make(map[string]string)
+	}
+	c.header[key] = value
+}
+
+// currentBase is the endpoint requests currently target.
+func (c *Client) currentBase() string {
+	return c.bases[int(c.idx.Load())%len(c.bases)]
+}
+
+// rotate advances to the next endpoint after a refused connection. With a
+// single base it is a no-op and retries stay on the one endpoint.
+func (c *Client) rotate() {
+	if len(c.bases) > 1 {
+		c.idx.Add(1)
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
@@ -115,6 +171,11 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body, out int
 		if !retry {
 			return err
 		}
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			// The node is down, not busy: move the next attempt to a peer
+			// (no-op without peers) instead of waiting out a dead endpoint.
+			c.rotate()
+		}
 		if sleepCtx(ctx, c.Retry.backoff(attempt, hint)) != nil {
 			return err // the caller's deadline beats another attempt
 		}
@@ -126,12 +187,15 @@ func (c *Client) doOnce(ctx context.Context, method, path string, blob []byte, o
 	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.currentBase()+path, rd)
 	if err != nil {
 		return err
 	}
 	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range c.header {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -414,9 +478,49 @@ func (c *Client) Cached(ctx context.Context, key string) (*report.Report, error)
 	return &rep, nil
 }
 
+// CachedAny looks any result kind up by its content address, decoding the
+// payload by shape (see DecodeResultPayload). Cluster peers probe each
+// other's caches with it, where a key's kind is not known in advance — the
+// typed Cached would silently mis-decode a recommendation into an
+// almost-empty report.
+func (c *Client) CachedAny(ctx context.Context, key string) (any, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/cache/"+url.PathEscape(key), nil, &raw); err != nil {
+		return nil, err
+	}
+	return DecodeResultPayload(raw)
+}
+
+// DecodeResultPayload decodes a raw result payload — as served unwrapped by
+// the shared report endpoint and /v1/cache/{key} — into its concrete type:
+// *report.Report, *RecommendResponse or *PrivateAuditResponse, sniffed by
+// shape exactly as the typed result fetchers do.
+func DecodeResultPayload(raw json.RawMessage) (any, error) {
+	switch resultKind(raw) {
+	case "recommendation":
+		res := new(RecommendResponse)
+		if err := json.Unmarshal(raw, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case "private-audit":
+		res := new(PrivateAuditResponse)
+		if err := json.Unmarshal(raw, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	default:
+		rep := new(report.Report)
+		if err := json.Unmarshal(raw, rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+}
+
 // Metrics fetches the raw metrics exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.currentBase()+"/metrics", nil)
 	if err != nil {
 		return "", err
 	}
@@ -464,12 +568,15 @@ func (c *Client) Watch(ctx context.Context, req *SubmitRequest) (*Watcher, error
 
 // connect (re)establishes the stream with one POST /v1/watch.
 func (w *Watcher) connect() error {
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.c.base+"/v1/watch", bytes.NewReader(w.blob))
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.c.currentBase()+"/v1/watch", bytes.NewReader(w.blob))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept", "text/event-stream")
+	for k, v := range w.c.header {
+		req.Header.Set(k, v)
+	}
 	resp, err := w.c.hc.Do(req)
 	if err != nil {
 		return err
@@ -517,6 +624,9 @@ func (w *Watcher) Next() (*WatchEvent, error) {
 			retry, hint := transientError(err, true)
 			if !retry {
 				return nil, err
+			}
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				w.c.rotate() // resubscribe on a live peer, if the client has one
 			}
 			if sleepCtx(w.ctx, w.c.Retry.backoff(attempt, hint)) != nil {
 				return nil, w.ctx.Err()

@@ -193,11 +193,10 @@ func (s *Server) planAuditDelta(reqKey, key string, snap *depdb.Snapshot, specs 
 		subjects []string
 		nDirty   int
 	}
-	s.mu.Lock()
-	if _, hit := s.cache.get(key); hit {
-		s.mu.Unlock()
+	if _, hit := s.cache.Get(key); hit {
 		return nil // plain content-addressed hit; enqueue handles it
 	}
+	s.mu.Lock()
 	entries := s.lineage.lookupLocked(reqKey)
 	s.mu.Unlock()
 	// Diffing and dirty analysis run without Server.mu: entries are
@@ -263,11 +262,10 @@ func (s *Server) planAuditDelta(reqKey, key string, snap *depdb.Snapshot, specs 
 // partially dirty pool seeds the search with the ancestor's scores for every
 // candidate free of dirty nodes.
 func (s *Server) planRecommendDelta(reqKey, key string, snap *depdb.Snapshot, preq *placement.Request, kinds []deps.Kind, universe []string) *deltaPlan {
-	s.mu.Lock()
-	if _, hit := s.cache.get(key); hit {
-		s.mu.Unlock()
+	if _, hit := s.cache.Get(key); hit {
 		return nil
 	}
+	s.mu.Lock()
 	entries := s.lineage.lookupLocked(reqKey)
 	s.mu.Unlock()
 	var chosen *lineageEntry
@@ -325,17 +323,16 @@ seeding:
 	return &deltaPlan{dirty: dirtyNodes}
 }
 
-// retrieveResult fetches a completed result by content address from the
-// memory tier, falling back to the disk store. Never called with Server.mu
-// held — the disk probe does IO.
+// retrieveResult fetches a completed result by content address, walking the
+// result-tier chain in order (memory, disk, any extras). Never called with
+// Server.mu held — lower tiers do IO.
 func (s *Server) retrieveResult(key string) (any, bool) {
-	s.mu.Lock()
-	res, ok := s.cache.get(key)
-	s.mu.Unlock()
-	if ok {
-		return res, true
+	for _, t := range s.tiers {
+		if res, ok := t.Get(key); ok {
+			return res, true
+		}
 	}
-	return s.diskGet(key)
+	return nil, false
 }
 
 // spliceAudit produces the report a full recompute against db would produce,

@@ -76,11 +76,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// ForwardedHeader marks a request a cluster peer already routed once: the
+// receiving node must compute it locally (single-hop ownership, no forward
+// loops). ReplicatedHeader marks an ingest pushed by a peer's replication
+// hook: admitted without rate limiting and not replicated onward.
+const (
+	ForwardedHeader  = "X-Indaas-Forwarded"
+	ReplicatedHeader = "X-Indaas-Replicated"
+)
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	req.NoForward = r.Header.Get(ForwardedHeader) != ""
 	st, err := s.Submit(&req)
 	if err != nil {
 		writeErr(w, err)
@@ -101,6 +111,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	req.NoForward = r.Header.Get(ForwardedHeader) != ""
 	st, err := s.Recommend(&req)
 	if err != nil {
 		writeErr(w, err)
@@ -122,6 +133,7 @@ func (s *Server) handlePrivateAudit(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	req.NoForward = r.Header.Get(ForwardedHeader) != ""
 	st, err := s.PrivateAudit(&req)
 	if err != nil {
 		writeErr(w, err)
@@ -164,6 +176,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	req.Replicated = r.Header.Get(ReplicatedHeader) != ""
 	resp, err := s.Ingest(&req)
 	if err != nil {
 		writeErr(w, err)
@@ -252,6 +265,9 @@ func (s *Server) handleCached(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.Stats().render(w)
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(w)
+	}
 }
 
 // handleHealthz reports liveness plus the served database's identity — the

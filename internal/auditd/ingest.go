@@ -13,6 +13,12 @@ import (
 // to the server's database.
 type IngestRequest struct {
 	Records []RecordWire `json:"records"`
+	// Replicated marks an ingest pushed by a cluster peer's replication hook
+	// rather than originated by a client: it bypasses the admission rate
+	// limit (the originating node already admitted it) and is not replicated
+	// onward. Set by the HTTP layer from the replication header; never by
+	// clients, and excluded from JSON.
+	Replicated bool `json:"-"`
 }
 
 // IngestResponse acknowledges an ingest with the database's new canonical
@@ -40,6 +46,10 @@ type IngestResponse struct {
 // and the response filled in when the group it joined commits.
 type ingestWaiter struct {
 	records []deps.Record
+	// wire keeps the records' wire form for Config.ReplicateHook; replica
+	// marks a peer-replicated ingest that must not be replicated onward.
+	wire    []RecordWire
+	replica bool
 	done    chan struct{} // closed once resp/err are set
 	resp    IngestResponse
 	err     error
@@ -77,12 +87,17 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 		records = append(records, r)
 	}
 
-	if ok, retryAfter := s.ingestLimit.take(float64(len(records))); !ok {
-		s.m.ingestThrottled.Add(1)
-		return IngestResponse{}, &statusErr{
-			code:       429,
-			retryAfter: retryAfter,
-			err:        fmt.Errorf("ingest rate limit exceeded, retry in %v (no records ingested)", retryAfter),
+	if !req.Replicated {
+		// Replicated ingests bypass admission: the originating node already
+		// charged its own rate limit, and dropping a replica here would let
+		// peer fingerprints diverge under load.
+		if ok, retryAfter := s.ingestLimit.take(float64(len(records))); !ok {
+			s.m.ingestThrottled.Add(1)
+			return IngestResponse{}, &statusErr{
+				code:       429,
+				retryAfter: retryAfter,
+				err:        fmt.Errorf("ingest rate limit exceeded, retry in %v (no records ingested)", retryAfter),
+			}
 		}
 	}
 
@@ -97,7 +112,7 @@ func (s *Server) Ingest(req *IngestRequest) (IngestResponse, error) {
 	s.ingestWG.Add(1)
 	s.mu.Unlock()
 
-	w := &ingestWaiter{records: records, done: make(chan struct{})}
+	w := &ingestWaiter{records: records, wire: req.Records, replica: req.Replicated, done: make(chan struct{})}
 	s.ingestCh <- w
 	s.ingestWG.Done()
 	<-w.done
@@ -224,6 +239,23 @@ func (s *Server) commitGroup(group []*ingestWaiter) {
 	// Mark watch subscriptions dirty BEFORE acknowledging any waiter: by the
 	// time a pusher's ingest returns, the re-audit it owes is already owed.
 	s.notifyWatchers(records)
+
+	// Replicate locally originated records to cluster peers BEFORE
+	// acknowledging: when an ingest through this node returns, the fleet's
+	// fingerprints have converged (the hook retries/marks peers internally).
+	// Peer-replicated records are never pushed onward — replication is a
+	// star from the originating node, so there is no echo.
+	if hook := s.cfg.ReplicateHook; hook != nil {
+		var originated []RecordWire
+		for _, w := range group {
+			if !w.replica {
+				originated = append(originated, w.wire...)
+			}
+		}
+		if len(originated) > 0 {
+			hook(originated)
+		}
+	}
 
 	for _, w := range group {
 		w.resp = IngestResponse{

@@ -17,10 +17,12 @@ import (
 // interrupted it.
 const jobKeyPrefix = "job/"
 
+// The journal's job kinds are the workload kinds (see executor.go): one
+// vocabulary for what a job is, on disk and on the wire.
 const (
-	journalKindAudit     = "audit"
-	journalKindRecommend = "recommend"
-	journalKindPrivate   = "private-audit"
+	journalKindAudit     = KindAudit
+	journalKindRecommend = KindRecommend
+	journalKindPrivate   = KindPrivateAudit
 )
 
 // journalRecord is the disk envelope of one accepted job: enough to replay

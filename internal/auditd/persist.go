@@ -369,7 +369,7 @@ func (s *Server) dropCachedLocked(keys []string, except string) {
 		if key == except {
 			continue
 		}
-		s.cache.remove(key)
+		s.cache.Remove(key)
 		s.m.storeEvictions.Add(1)
 	}
 }

@@ -222,6 +222,10 @@ type PrivateAuditRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS caps the job's run time; same semantics as audit jobs.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoForward pins the job to this node. Set by the HTTP layer for
+	// requests a cluster peer already forwarded once (single-hop ownership);
+	// never by clients, and excluded from JSON and the cache key.
+	NoForward bool `json:"-"`
 }
 
 // providerRef is a provider's identity inside the canonical form: its name
@@ -441,7 +445,22 @@ func (s *Server) privateAudit(req *PrivateAuditRequest, recoverID string) (JobSt
 		s.m.privatePairs.Add(int64(pairs))
 		return PrivateAuditResponseFromReport(rep, infos, protocol, time.Since(start)), nil
 	}
-	extra := &jobExtras{journalKind: journalKindPrivate, journalReq: req, recoverID: recoverID}
+	// The request is self-contained only when every provider inlines its
+	// components; a registry reference resolves against THIS node's provider
+	// registry and must not be forwarded to a peer that may lack it.
+	inline := true
+	for _, p := range req.Providers {
+		if len(p.Components) == 0 {
+			inline = false
+			break
+		}
+	}
+	extra := &jobExtras{
+		journalKind: journalKindPrivate, journalReq: req, recoverID: recoverID,
+		wire:          req,
+		selfContained: inline,
+		noForward:     req.NoForward || recoverID != "" || !inline,
+	}
 	st, err := s.enqueue(n.key(), req.Title, req.TimeoutMS, run, extra)
 	if err == nil {
 		s.m.privateAudits.Add(1)

@@ -59,6 +59,10 @@ type RecommendRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS caps the job's run time; same semantics as audit jobs.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoForward pins the job to this node. Set by the HTTP layer for
+	// requests a cluster peer already forwarded once (single-hop ownership);
+	// never by clients, and excluded from JSON and the cache key.
+	NoForward bool `json:"-"`
 }
 
 // normalizedRecommend is the canonical, defaults-applied form the cache key
@@ -247,7 +251,12 @@ func (s *Server) recommend(req *RecommendRequest, recoverID string) (JobStatus, 
 		return JobStatus{}, &statusErr{code: 400, err: err}
 	}
 
-	extra := &jobExtras{journalKind: journalKindRecommend, journalReq: req, recoverID: recoverID}
+	extra := &jobExtras{
+		journalKind: journalKindRecommend, journalReq: req, recoverID: recoverID,
+		wire: req, dbFP: n.DBFingerprint,
+		selfContained: len(req.Records) > 0,
+		noForward:     req.NoForward || recoverID != "",
+	}
 	if len(req.Records) == 0 {
 		reqKey := n.requestKey()
 		universe := append(append([]string(nil), n.Fixed...), n.Nodes...)
@@ -256,6 +265,8 @@ func (s *Server) recommend(req *RecommendRequest, recoverID string) (JobStatus, 
 		if plan := s.planRecommendDelta(reqKey, n.key(), snap, &preq, preq.Kinds, universe); plan != nil {
 			extra.applyPlan(plan)
 			entry.scores = plan.scores // adopt: chain the ancestor's memo on
+			// The plan seeded preq with local lineage scores; keep it here.
+			extra.noForward = true
 		}
 	}
 	reg := extra.reg

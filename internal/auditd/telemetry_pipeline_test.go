@@ -350,27 +350,57 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	}
 }
 
+// missTier is a lower tier that never hits — the shape a clustered node's
+// peer tier has when the owner's cache is cold. It must cost the memory-hit
+// path nothing: a memory hit resolves at the first tier and the chain below
+// is never probed.
+type missTier struct{}
+
+func (missTier) Name() string             { return "miss" }
+func (missTier) Get(string) (any, bool)   { return nil, false }
+func (missTier) Put(string, any) []string { return nil }
+func (missTier) Remove(string)            {}
+
 // TestMemoryHitAllocBudget is the alloc guard behind
 // BenchmarkSubmitMemoryHitTraced: with tracing threaded through the
 // pipeline, the memory-hit path must still stay within its historical
-// budget because hits never allocate a trace.
+// budget because hits never allocate a trace. The "seams" variant runs the
+// same budget with the executor wrapped and an extra result tier appended —
+// the interfaces the cluster layer hangs off — proving the extraction left
+// the hit path alone: hits never reach the executor, and the tier chain
+// stops at memory.
 func TestMemoryHitAllocBudget(t *testing.T) {
-	s := New(Config{Workers: 1})
-	defer shutdown(t, s)
-	req := quickRequest("allocs")
-	job := mustSubmit(t, s, req)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if end, err := s.WaitDone(ctx, job.ID, 30*time.Second); err != nil || end.State != StateDone {
-		t.Fatalf("priming job: %v %+v", err, end)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{Workers: 1}},
+		{"seams", Config{
+			Workers:      1,
+			WrapExecutor: func(e Executor) Executor { return e },
+			ExtraTiers:   []ResultTier{missTier{}},
+		}},
 	}
-	allocs := testing.AllocsPerRun(200, func() {
-		st, err := s.Submit(req)
-		if err != nil || st.State != StateDone || !st.Cached {
-			panic(fmt.Sprintf("not a memory hit: %+v %v", st, err))
-		}
-	})
-	if allocs > 80 {
-		t.Fatalf("memory-hit submit = %.0f allocs/op, budget 80", allocs)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.cfg)
+			defer shutdown(t, s)
+			req := quickRequest("allocs-" + tc.name)
+			job := mustSubmit(t, s, req)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if end, err := s.WaitDone(ctx, job.ID, 30*time.Second); err != nil || end.State != StateDone {
+				t.Fatalf("priming job: %v %+v", err, end)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				st, err := s.Submit(req)
+				if err != nil || st.State != StateDone || !st.Cached {
+					panic(fmt.Sprintf("not a memory hit: %+v %v", st, err))
+				}
+			})
+			if allocs > 80 {
+				t.Fatalf("memory-hit submit = %.0f allocs/op, budget 80", allocs)
+			}
+		})
 	}
 }

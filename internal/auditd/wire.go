@@ -112,6 +112,10 @@ type SubmitRequest struct {
 	// computation keeps its own deadline without imposing it on the other
 	// waiters — and, like Title, does not contribute to the cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoForward pins the job to this node. Set by the HTTP layer for
+	// requests a cluster peer already forwarded once (single-hop ownership);
+	// never by clients, and excluded from JSON and the cache key.
+	NoForward bool `json:"-"`
 }
 
 // normalized is the canonical, defaults-applied form of a request that the
@@ -229,6 +233,19 @@ func (n *normalized) specs() []sia.GraphSpec {
 // normalized request (which embeds the DepDB snapshot fingerprint).
 func (n *normalized) key() string {
 	return canonicalKey(n)
+}
+
+// CacheKey derives the content address the request would be cached under
+// against a database with the given fingerprint, without submitting it. The
+// cluster router uses it to route the per-deployment sub-audits of a fanned-
+// out request to their hash owners.
+func (r *SubmitRequest) CacheKey(dbFingerprint string) (string, error) {
+	n, _, err := r.normalize()
+	if err != nil {
+		return "", err
+	}
+	n.DBFingerprint = dbFingerprint
+	return n.key(), nil
 }
 
 // requestKey derives the database-independent identity of the request: the

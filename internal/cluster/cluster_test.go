@@ -1,0 +1,379 @@
+package cluster_test
+
+// Multi-node integration tests: real auditd servers on real listeners,
+// clustered through the executor/tier/replication seams exactly as cmd
+// serve wires them. They cover ownership forwarding, peer cache hits,
+// fan-out splice equality against a single-node run, ingest replication
+// convergence, and survival of a dead peer.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"indaas/internal/auditd"
+	"indaas/internal/cluster"
+	"indaas/internal/deps"
+	"indaas/internal/report"
+)
+
+type testNode struct {
+	s    *auditd.Server
+	node *cluster.Node
+	srv  *http.Server
+	addr string
+	c    *auditd.Client
+}
+
+// kill tears the node down abruptly — listener and all — as a crash would.
+func (tn *testNode) kill() {
+	tn.srv.Close()
+	tn.node.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	tn.s.Shutdown(ctx)
+}
+
+// startCluster boots size clustered nodes on loopback listeners and waits
+// for their health polls to converge.
+func startCluster(t *testing.T, size int) []*testNode {
+	t.Helper()
+	lns := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*testNode, size)
+	for i := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		node := cluster.New(cluster.Config{Self: addrs[i], Peers: peers, PollInterval: 100 * time.Millisecond})
+		s := auditd.New(auditd.Config{
+			Workers:       2,
+			WrapExecutor:  node.WrapExecutor,
+			ExtraTiers:    []auditd.ResultTier{node.PeerTier()},
+			ReplicateHook: node.Replicate,
+			ExtraMetrics:  node.RenderMetrics,
+		})
+		srv := &http.Server{Handler: s.Handler()}
+		go srv.Serve(lns[i])
+		node.Start()
+		nodes[i] = &testNode{s: s, node: node, srv: srv, addr: addrs[i], c: auditd.NewClient(addrs[i], nil)}
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.kill()
+		}
+	})
+	ctx := context.Background()
+	for _, tn := range nodes {
+		waitMetric(t, ctx, tn, "auditd_cluster_peers_healthy", float64(size-1))
+	}
+	return nodes
+}
+
+// metricValue extracts one sample from an exposition page.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found", name)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s = %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+func waitMetric(t *testing.T, ctx context.Context, tn *testNode, name string, want float64) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		text, err := tn.c.Metrics(ctx)
+		if err == nil && metricValue(t, text, name) == want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("node %s: metric %s never reached %v", tn.addr, name, want)
+}
+
+func clusterRecords() []auditd.RecordWire {
+	return auditd.WireRecords([]deps.Record{
+		deps.NewNetwork("s1", "Internet", "ToR1", "Core1"),
+		deps.NewNetwork("s2", "Internet", "ToR2", "Core1"),
+		deps.NewNetwork("s3", "Internet", "ToR2", "Core2"),
+		deps.NewHardware("s1", "Disk", "S1-SED900"),
+		deps.NewHardware("s2", "Disk", "S2-SED900"),
+		deps.NewHardware("s3", "Disk", "S3-SED900"),
+		deps.NewSoftware("nginx", "s1", "libc6"),
+		deps.NewSoftware("httpd", "s2", "libc6"),
+		deps.NewSoftware("caddy", "s3", "libssl3"),
+	})
+}
+
+// inlineAudit is a self-contained single-deployment audit whose cache key —
+// and therefore hash owner — varies with the salt.
+func inlineAudit(salt int) *auditd.SubmitRequest {
+	return &auditd.SubmitRequest{
+		Title:       fmt.Sprintf("cluster-%d", salt),
+		Records:     clusterRecords(),
+		Seed:        int64(salt + 1),
+		Algorithm:   "failure-sampling",
+		Rounds:      100 + salt,
+		Deployments: []auditd.DeploymentWire{{Name: "s1+s2", Servers: []string{"s1", "s2"}}},
+	}
+}
+
+// TestClusterForwardsToOwner: audits submitted through one node land on
+// exactly one node's worker pool each — the content address's hash owner —
+// and the fleet's computation counts sum to the number of distinct audits,
+// with forwards showing up in the coordinator's cluster metrics.
+func TestClusterForwardsToOwner(t *testing.T) {
+	nodes := startCluster(t, 3)
+	ctx := context.Background()
+	const jobs = 8
+	for i := 0; i < jobs; i++ {
+		st, err := nodes[0].c.Submit(ctx, inlineAudit(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if done, err := nodes[0].c.WaitDone(ctx, st.ID); err != nil || done.State != auditd.StateDone {
+			t.Fatalf("job %d = %+v, %v", i, done, err)
+		}
+	}
+	var total int64
+	spread := 0
+	for _, tn := range nodes {
+		if c := tn.s.Stats().Computations; c > 0 {
+			total += c
+			spread++
+		}
+	}
+	if total != jobs {
+		t.Fatalf("fleet computed %d jobs, want exactly %d (no double compute, no loss)", total, jobs)
+	}
+	if spread < 2 {
+		t.Fatalf("all %d jobs computed on one node; hash routing spread none", jobs)
+	}
+	text, err := nodes[0].c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := metricValue(t, text, "auditd_cluster_forwards_total")
+	if away := float64(jobs - nodes[0].s.Stats().Computations); fwd != away {
+		t.Fatalf("coordinator counted %v forwards, want %v (jobs minus its own computations)", fwd, away)
+	}
+}
+
+// TestClusterPeerCacheHit: a result computed anywhere in the fleet is a
+// cache hit from every node — resubmitting through a node that neither
+// computed nor cached it answers instantly via the owner probe (or the
+// forwarded submit landing on the owner's cache), never by recomputing.
+func TestClusterPeerCacheHit(t *testing.T) {
+	nodes := startCluster(t, 3)
+	ctx := context.Background()
+	req := inlineAudit(42)
+	st, err := nodes[0].c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := nodes[0].c.WaitDone(ctx, st.ID); err != nil || done.State != auditd.StateDone {
+		t.Fatalf("first run = %+v, %v", done, err)
+	}
+	var before int64
+	for _, tn := range nodes {
+		before += tn.s.Stats().Computations
+	}
+	for _, tn := range nodes {
+		st2, err := tn.c.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("resubmit via %s: %v", tn.addr, err)
+		}
+		if done, err := tn.c.WaitDone(ctx, st2.ID); err != nil || done.State != auditd.StateDone {
+			t.Fatalf("resubmit via %s = %+v, %v", tn.addr, done, err)
+		}
+		if st2.CacheKey != st.CacheKey {
+			t.Fatalf("cache key diverged: %s vs %s", st2.CacheKey, st.CacheKey)
+		}
+	}
+	var after int64
+	for _, tn := range nodes {
+		after += tn.s.Stats().Computations
+	}
+	if after != before {
+		t.Fatalf("resubmits recomputed: fleet computations %d -> %d", before, after)
+	}
+}
+
+// TestClusterFanoutMatchesSingleNode: a many-deployment audit fanned out
+// across the fleet splices to exactly the report a lone node computes —
+// same deployments, same order, same risk groups.
+func TestClusterFanoutMatchesSingleNode(t *testing.T) {
+	req := &auditd.SubmitRequest{
+		Title:   "fanout-vs-single",
+		Records: clusterRecords(),
+		Deployments: []auditd.DeploymentWire{
+			{Name: "s1+s2", Servers: []string{"s1", "s2"}},
+			{Name: "s1+s3", Servers: []string{"s1", "s3"}},
+			{Name: "s2+s3", Servers: []string{"s2", "s3"}},
+		},
+	}
+	ctx := context.Background()
+
+	single := auditd.New(auditd.Config{Workers: 2})
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		single.Shutdown(sctx)
+	}()
+	st, err := single.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := single.WaitDone(ctx, st.ID, 10*time.Second); err != nil || done.State != auditd.StateDone {
+		t.Fatalf("single-node run = %+v, %v", done, err)
+	}
+	wantRes, err := single.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantRes.(*report.Report)
+
+	nodes := startCluster(t, 3)
+	cst, err := nodes[0].c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := nodes[0].c.WaitDone(ctx, cst.ID); err != nil || done.State != auditd.StateDone {
+		t.Fatalf("clustered run = %+v, %v", done, err)
+	}
+	got, err := nodes[0].c.Report(ctx, cst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := nodes[0].c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricValue(t, text, "auditd_cluster_fanouts_total") != 1 {
+		t.Fatal("the clustered run did not fan out")
+	}
+	if subs := metricValue(t, text, "auditd_cluster_fanout_subaudits_total"); subs != 3 {
+		t.Fatalf("fan-out spawned %v sub-audits, want 3", subs)
+	}
+	if !reflect.DeepEqual(normalizeReport(t, want), normalizeReport(t, got)) {
+		t.Fatalf("spliced report diverges from single-node run:\nwant %s\ngot  %s",
+			normalizeReport(t, want), normalizeReport(t, got))
+	}
+}
+
+// normalizeReport strips per-run timing from a report and renders it
+// canonically for comparison.
+func normalizeReport(t *testing.T, r *report.Report) string {
+	t.Helper()
+	c := *r
+	c.Audits = append([]report.DeploymentAudit(nil), r.Audits...)
+	for i := range c.Audits {
+		c.Audits[i].Elapsed = 0
+	}
+	blob, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestClusterReplicationConverges: records ingested through one node reach
+// every peer before the ingest is acknowledged, so the fleet serves one
+// database fingerprint and a database audit submitted anywhere completes.
+func TestClusterReplicationConverges(t *testing.T) {
+	nodes := startCluster(t, 3)
+	ctx := context.Background()
+	resp, err := nodes[0].c.Ingest(ctx, clusterRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range nodes {
+		st := tn.s.Stats()
+		if st.IngestedRecords != int64(resp.Added) {
+			t.Fatalf("node %s holds %d records, want %d", tn.addr, st.IngestedRecords, resp.Added)
+		}
+	}
+	// A non-self-contained audit (no inline records) against the replicated
+	// database, submitted through a non-ingesting node: the key embeds the
+	// shared fingerprint, so any node may compute it.
+	req := &auditd.SubmitRequest{
+		Title:       "replicated-db",
+		Deployments: []auditd.DeploymentWire{{Name: "s1+s2", Servers: []string{"s1", "s2"}}},
+	}
+	st, err := nodes[1].c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := nodes[1].c.WaitDone(ctx, st.ID); err != nil || done.State != auditd.StateDone {
+		t.Fatalf("replicated-db audit = %+v, %v", done, err)
+	}
+}
+
+// TestClusterSurvivesDeadPeer: killing one node mid-fleet leaves the
+// survivors serving everything — forwards to the corpse fail over to local
+// compute and the peer-health gauge drops.
+func TestClusterSurvivesDeadPeer(t *testing.T) {
+	nodes := startCluster(t, 3)
+	ctx := context.Background()
+	nodes[2].kill()
+
+	for i := 0; i < 8; i++ {
+		st, err := nodes[0].c.Submit(ctx, inlineAudit(100+i))
+		if err != nil {
+			t.Fatalf("submit %d after kill: %v", i, err)
+		}
+		if done, err := nodes[0].c.WaitDone(ctx, st.ID); err != nil || done.State != auditd.StateDone {
+			t.Fatalf("job %d after kill = %+v, %v", i, done, err)
+		}
+	}
+	waitMetric(t, ctx, nodes[0], "auditd_cluster_peers_healthy", 1)
+	total := nodes[0].s.Stats().Computations + nodes[1].s.Stats().Computations
+	if total != 8 {
+		t.Fatalf("survivors computed %d jobs, want all 8", total)
+	}
+}
+
+// TestClusterMetricNames: every cluster series on the exposition page obeys
+// the repo's naming conventions (counters end in _total; the two gauges are
+// allowlisted in scripts/check_metric_names.sh).
+func TestClusterMetricNames(t *testing.T) {
+	nodes := startCluster(t, 2)
+	text, err := nodes[0].c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauges := map[string]bool{"auditd_cluster_peers": true, "auditd_cluster_peers_healthy": true}
+	for _, name := range regexp.MustCompile(`auditd_cluster_[a-z0-9_]+`).FindAllString(text, -1) {
+		if !strings.HasSuffix(name, "_total") && !gauges[name] {
+			t.Errorf("cluster metric %s is neither a _total counter nor an allowlisted gauge", name)
+		}
+	}
+	if !strings.Contains(text, "auditd_cluster_forwards_total") {
+		t.Fatal("cluster series missing from /metrics")
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// healthTimeout bounds one /healthz probe. Health checks race real traffic
+// on the same loopback or LAN hop, so a slow answer is itself a signal.
+const healthTimeout = 2 * time.Second
+
+// peerState is what this node believes about one peer, refreshed by the
+// poller and corrected inline by traffic (a refused forward marks the peer
+// dead immediately; a successful one marks it alive).
+type peerState struct {
+	mu          sync.Mutex
+	alive       bool
+	fingerprint string // the peer's served database fingerprint
+	records     int
+}
+
+// healthView is the subset of auditd's /healthz body routing needs: is the
+// peer up, and which database generation is it serving.
+type healthView struct {
+	OK            bool   `json:"ok"`
+	Status        string `json:"status"`
+	DBRecords     int    `json:"db_records"`
+	DBFingerprint string `json:"db_fingerprint"`
+}
+
+// probe fetches addr's /healthz once. Any transport or decode failure reads
+// as dead.
+func (n *Node) probe(ctx context.Context, addr string) (healthView, bool) {
+	var hv healthView
+	ctx, cancel := context.WithTimeout(ctx, healthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return hv, false
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return hv, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hv, false
+	}
+	if json.NewDecoder(resp.Body).Decode(&hv) != nil {
+		return hv, false
+	}
+	return hv, hv.OK
+}
+
+// refresh probes one peer and folds the result into its state, returning
+// the updated liveness and fingerprint. The router calls it synchronously
+// when a peer's cached fingerprint disagrees with a workload's — replication
+// may have converged the peer a moment ago, and one probe is cheaper than
+// computing a forwardable workload locally.
+func (n *Node) refresh(ctx context.Context, addr string) (alive bool, fingerprint string) {
+	st := n.peers[addr]
+	if st == nil {
+		return false, ""
+	}
+	hv, ok := n.probe(ctx, addr)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.alive = ok
+	if ok {
+		st.fingerprint = hv.DBFingerprint
+		st.records = hv.DBRecords
+	}
+	return st.alive, st.fingerprint
+}
+
+// peerAlive reports the poller's current belief about addr; the node's own
+// address is always alive.
+func (n *Node) peerAlive(addr string) bool {
+	if addr == n.cfg.Self {
+		return true
+	}
+	st := n.peers[addr]
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.alive
+}
+
+// peerFingerprint returns the last fingerprint addr's /healthz reported.
+func (n *Node) peerFingerprint(addr string) string {
+	st := n.peers[addr]
+	if st == nil {
+		return ""
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fingerprint
+}
+
+// markDead records an observed failure against addr without waiting for the
+// next poll — the router calls it the moment a forward is refused, so the
+// very next workload routes around the corpse.
+func (n *Node) markDead(addr string) {
+	if st := n.peers[addr]; st != nil {
+		st.mu.Lock()
+		st.alive = false
+		st.mu.Unlock()
+	}
+}
+
+// healthyPeers counts peers currently believed alive.
+func (n *Node) healthyPeers() int {
+	alive := 0
+	for _, addr := range n.cfg.Peers {
+		if n.peerAlive(addr) {
+			alive++
+		}
+	}
+	return alive
+}
+
+// poll runs the membership loop: probe every peer, sleep, repeat, until
+// Stop cancels the context. The first sweep runs immediately so a freshly
+// started node routes sensibly without waiting out an interval.
+func (n *Node) poll(ctx context.Context) {
+	defer n.wg.Done()
+	for {
+		for _, addr := range n.cfg.Peers {
+			n.refresh(ctx, addr)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(n.cfg.PollInterval):
+		}
+	}
+}

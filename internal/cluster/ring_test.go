@@ -1,0 +1,123 @@
+package cluster
+
+// Hash-ring property tests: the distribution over nodes stays near uniform,
+// membership changes remap only ~1/N of the keyspace (the property a naive
+// modulo placement lacks — measured differentially against one), and dead
+// nodes are skipped without disturbing the ownership of keys whose owners
+// are alive.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:7080", i+1)
+	}
+	return nodes
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Hash the label so keys look like real content addresses.
+		keys[i] = fmt.Sprintf("%016x", hashPoint(fmt.Sprintf("request-%d", i)))
+	}
+	return keys
+}
+
+// moduloOwner is the brute-force baseline placement: hash mod node count.
+// Stable hashing makes it deterministic, but nearly every key changes hands
+// when the node count changes — exactly what the ring exists to avoid.
+func moduloOwner(key string, nodes []string) string {
+	return nodes[hashPoint(key)%uint64(len(nodes))]
+}
+
+// TestRingDistributionNearUniform: at 1k keys over 4 nodes, every node's
+// share stays within 15% of the uniform share.
+func TestRingDistributionNearUniform(t *testing.T) {
+	nodes := testNodes(4)
+	r := newRing(nodes)
+	counts := make(map[string]int, len(nodes))
+	keys := testKeys(1000)
+	for _, k := range keys {
+		owner := r.owner(k, nil)
+		if owner == "" {
+			t.Fatalf("key %s has no owner", k)
+		}
+		counts[owner]++
+	}
+	uniform := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		dev := (float64(counts[n]) - uniform) / uniform
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("node %s owns %d keys, %.1f%% off the uniform %0.f (budget ±15%%)", n, counts[n], dev*100, uniform)
+		}
+	}
+}
+
+// TestRingRemapOnMembershipChange: adding a node to a 4-node ring moves
+// roughly 1/5 of the keys (all of them TO the new node), and removing one
+// moves roughly 1/4 — while the modulo baseline reshuffles most of the
+// keyspace on the same change.
+func TestRingRemapOnMembershipChange(t *testing.T) {
+	nodes := testNodes(5)
+	keys := testKeys(1000)
+	four, five := newRing(nodes[:4]), newRing(nodes)
+
+	moved, movedElsewhere, modMoved := 0, 0, 0
+	for _, k := range keys {
+		before, after := four.owner(k, nil), five.owner(k, nil)
+		if before != after {
+			moved++
+			if after != nodes[4] {
+				movedElsewhere++
+			}
+		}
+		if moduloOwner(k, nodes[:4]) != moduloOwner(k, nodes) {
+			modMoved++
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("%d keys moved between surviving nodes; additions may only move keys to the new node", movedElsewhere)
+	}
+	// Expect ~1/5 = 200 moved; allow generous noise but require the ring to
+	// beat the modulo baseline by a wide margin.
+	if moved < 100 || moved > 350 {
+		t.Errorf("adding a 5th node moved %d/1000 keys, want ~200", moved)
+	}
+	if modMoved < 600 {
+		t.Fatalf("modulo baseline moved only %d/1000 keys; the differential below is meaningless", modMoved)
+	}
+	if moved*2 >= modMoved {
+		t.Errorf("ring moved %d keys vs modulo's %d; want under half", moved, modMoved)
+	}
+
+	// Removal is the same property through the alive() skip: keys owned by
+	// survivors keep their owner when a node dies.
+	dead := nodes[2]
+	aliveFn := func(n string) bool { return n != dead }
+	for _, k := range keys {
+		before := five.owner(k, nil)
+		after := five.owner(k, aliveFn)
+		if before != dead && after != before {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed alive", k, before, after)
+		}
+		if after == dead {
+			t.Fatalf("key %s assigned to the dead node", k)
+		}
+	}
+}
+
+// TestRingAllDeadAndEmpty: degenerate inputs answer "" rather than spin.
+func TestRingAllDeadAndEmpty(t *testing.T) {
+	if got := newRing(nil).owner("k", nil); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	r := newRing(testNodes(3))
+	if got := r.owner("k", func(string) bool { return false }); got != "" {
+		t.Fatalf("all-dead ring owner = %q", got)
+	}
+}

@@ -14,6 +14,8 @@ ALLOWED_GAUGES=(
     auditd_build_info
     auditd_cache_entries
     auditd_cache_hit_rate
+    auditd_cluster_peers
+    auditd_cluster_peers_healthy
     auditd_degraded
     auditd_goroutines
     auditd_queue_depth
@@ -24,10 +26,12 @@ ALLOWED_GAUGES=(
     auditd_workers_busy
 )
 
-# Every auditd_* metric name in the renderer — quoted arguments and names
+# Every auditd_* metric name in the renderers — quoted arguments and names
 # embedded in format strings (auditd_build_info) alike. Comments mentioning
-# metric names are held to the same convention, which is what we want.
-names=$(grep -oE 'auditd_[a-z0-9_]+' internal/auditd/metrics.go | sort -u)
+# metric names are held to the same convention, which is what we want. The
+# cluster layer renders its series onto the same /metrics page, so its
+# renderer is linted identically.
+names=$(grep -ohE 'auditd_[a-z0-9_]+' internal/auditd/metrics.go internal/cluster/metrics.go | sort -u)
 [ -n "$names" ] || { echo "check_metric_names: found no metric names in metrics.go" >&2; exit 1; }
 
 fail=0

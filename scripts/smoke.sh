@@ -29,6 +29,16 @@
 #       fingerprint-keyed cache hit that runs no new computation and that
 #       the private-audit metrics counted the job.
 #
+#   ./scripts/smoke.sh cluster    clustering legs: boot a 4-node fleet
+#       (-peers), push 16 distinct audits through one node and assert each
+#       ran on exactly one node's pool (hash ownership; forwards counted),
+#       that resubmission through another node is a fleet-wide cache hit,
+#       that an ingest through one node converges every peer's DepDB
+#       fingerprint before it is acknowledged, and that kill -9 of a peer
+#       mid-job leaves the survivors serving everything. Then time the same
+#       16-audit batch on a single node (same 1-worker, 300ms-delay build)
+#       and require the 4-node fleet to have been >= 2.5x faster.
+#
 #   ./scripts/smoke.sh stream     streaming leg: serve durable with a rate
 #       limit, subscribe a raw SSE watcher over GET /v1/watch, replay agent
 #       churn with `indaas loadgen` (whose own watch probe must see re-audit
@@ -52,15 +62,30 @@ TMP=$(mktemp -d)
 SERVE_PID=
 SERVE_LOG="$TMP/serve.log"
 
+CLUSTER_PIDS=()
+
 cleanup() {
     status=$?
     if [ -n "${SERVE_PID:-}" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
         kill "$SERVE_PID" 2>/dev/null || true
         wait "$SERVE_PID" 2>/dev/null || true
     fi
-    if [ "$status" -ne 0 ] && [ -s "$SERVE_LOG" ]; then
-        echo "--- server log tail ---" >&2
-        tail -n 40 "$SERVE_LOG" >&2
+    for pid in ${CLUSTER_PIDS+"${CLUSTER_PIDS[@]}"}; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    if [ "$status" -ne 0 ]; then
+        if [ -s "$SERVE_LOG" ]; then
+            echo "--- server log tail ---" >&2
+            tail -n 40 "$SERVE_LOG" >&2
+        fi
+        for log in "$TMP"/node-*.log; do
+            [ -s "$log" ] || continue
+            echo "--- $(basename "$log") tail ---" >&2
+            tail -n 20 "$log" >&2
+        done
     fi
     rm -rf "$TMP"
 }
@@ -401,4 +426,185 @@ if [ "$MODE" = stream ]; then
     exit 0
 fi
 
-die "unknown mode $MODE (want base, restart, chaos, pia or stream)"
+if [ "$MODE" = cluster ]; then
+    # Every node runs one worker with a 300ms compute delay so throughput is
+    # dominated by computation and scales with the number of pools — the
+    # fleet-vs-single-node timing below measures parallelism, not HTTP
+    # overhead. Ports are fixed: the hash ring is keyed on peer addresses,
+    # so fixed ports make the job→owner placement reproducible run to run.
+    CPORTS=(7191 7192 7193 7194)
+    CBASES=()
+    for p in "${CPORTS[@]}"; do CBASES+=("http://127.0.0.1:$p"); done
+
+    # The single-daemon helpers above are bound to $BASE; the fleet versions
+    # take the node's base URL as their first argument.
+    cstart_node() { # port peers-csv → appends pid to CLUSTER_PIDS
+        local port=$1 peers=$2
+        local args=(serve -listen "127.0.0.1:$port" -workers 1 -chaos delay=300ms)
+        [ -n "$peers" ] && args+=(-peers "$peers" -cluster-poll 200ms)
+        "$TMP/indaas" "${args[@]}" >>"$TMP/node-$port.log" 2>&1 &
+        CLUSTER_PIDS+=($!)
+    }
+
+    cwait_healthy() { # base
+        for _ in $(seq 100); do
+            "${CURL[@]}" "$1/healthz" >/dev/null 2>&1 && return 0
+            sleep 0.1
+        done
+        die "cluster: node $1 did not become healthy within 10s"
+    }
+
+    cmetric() { # base name → value (0 when absent)
+        "${CURL[@]}" "$1/metrics" | awk -v name="$2" '$1 == name {print $2; found=1} END {if (!found) print 0}'
+    }
+
+    csubmit() { # base json-body → job id
+        local id
+        id=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' --data "$2" "$1/v1/audits" | jq -r .id) ||
+            die "cluster: audit submission to $1 failed"
+        [ -n "$id" ] && [ "$id" != null ] || die "cluster: $1 returned no job id"
+        echo "$id"
+    }
+
+    cwait_done() { # base job-id leg-name
+        local state
+        state=$("${CURL[@]}" "$1/v1/audits/$2?wait=30s" | jq -r .state) ||
+            die "$3: polling job $2 on $1 failed"
+        [ "$state" = done ] || die "$3: job $2 ended in state $state"
+    }
+
+    # shard_body N: a distinct single-deployment, self-contained audit. One
+    # deployment keeps the router on the plain forwarding path (2+ would
+    # fan out), inline records make every node eligible regardless of its
+    # DepDB, and the name salts the content address so the 16 shards spread
+    # across the ring.
+    shard_body() {
+        jq -c --arg n "shard-$1" \
+            '{title: ("cluster " + $n), deployments: [(.deployments[0] + {name: $n})], records: .records}' \
+            scripts/smoke_request.json
+    }
+
+    # run_batch base: submit the 16 shards through one node, wait for all of
+    # them, print the elapsed seconds. Submission is non-blocking, so the
+    # elapsed time is dominated by how many 300ms computations can run at
+    # once — the fleet's parallelism.
+    run_batch() {
+        local base=$1 ids=() t0 t1 i
+        t0=$(date +%s.%N)
+        for i in $(seq 0 15); do
+            ids+=("$(csubmit "$base" "$(shard_body "$i")")")
+        done
+        for i in "${ids[@]}"; do
+            cwait_done "$base" "$i" batch
+        done
+        t1=$(date +%s.%N)
+        awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.2f", b - a}'
+    }
+
+    # --- boot the 4-node fleet and wait for full mutual health ---
+    for i in 0 1 2 3; do
+        peers=""
+        for j in 0 1 2 3; do
+            [ "$i" = "$j" ] && continue
+            peers="${peers:+$peers,}${CBASES[$j]}"
+        done
+        cstart_node "${CPORTS[$i]}" "$peers"
+    done
+    for b in "${CBASES[@]}"; do
+        cwait_healthy "$b"
+    done
+    for b in "${CBASES[@]}"; do
+        for _ in $(seq 50); do
+            [ "$(cmetric "$b" auditd_cluster_peers_healthy)" = 3 ] && break
+            sleep 0.1
+        done
+        [ "$(cmetric "$b" auditd_cluster_peers_healthy)" = 3 ] ||
+            die "node $b never saw 3 healthy peers"
+    done
+
+    # --- 16 distinct audits through node A: hash routing spreads the work ---
+    T4=$(run_batch "${CBASES[0]}")
+    TOTAL=0 BUSY_NODES=0
+    for b in "${CBASES[@]}"; do
+        C=$(cmetric "$b" auditd_computations_total)
+        TOTAL=$((TOTAL + C))
+        [ "$C" -ge 1 ] && BUSY_NODES=$((BUSY_NODES + 1))
+    done
+    [ "$TOTAL" = 16 ] || die "fleet computed $TOTAL jobs for 16 audits; each must run on exactly one node"
+    [ "$BUSY_NODES" -ge 2 ] || die "all 16 audits computed on one node; hash routing is not spreading work"
+    [ "$(cmetric "${CBASES[0]}" auditd_cluster_forwards_total)" -ge 1 ] ||
+        die "node A forwarded nothing despite owning only part of the keyspace"
+
+    # --- resubmission through node B: fleet-wide content-addressed cache ---
+    for i in $(seq 0 15); do
+        HIT=$("${CURL[@]}" -X POST -H 'Content-Type: application/json' \
+            --data "$(shard_body "$i")" "${CBASES[1]}/v1/audits")
+        [ "$(jq -r '.cached == true and .state == "done"' <<<"$HIT")" = true ] ||
+            die "shard-$i resubmitted via node B was not a cache hit: $HIT"
+    done
+    TOTAL_AFTER=0
+    for b in "${CBASES[@]}"; do
+        TOTAL_AFTER=$((TOTAL_AFTER + $(cmetric "$b" auditd_computations_total)))
+    done
+    [ "$TOTAL_AFTER" = 16 ] || die "resubmission recomputed: fleet total went 16 -> $TOTAL_AFTER"
+    [ "$(cmetric "${CBASES[1]}" auditd_cluster_peer_cache_hits_total)" -ge 1 ] ||
+        die "node B never served a result out of a peer's cache"
+
+    # --- many-deployment audit fans out and splices back to the golden ---
+    FID=$(csubmit "${CBASES[0]}" "$(cat scripts/smoke_request.json)")
+    cwait_done "${CBASES[0]}" "$FID" fanout
+    "${CURL[@]}" "${CBASES[0]}/v1/audits/$FID/report" > "$TMP/fanout.json"
+    diff <(jq -S '.audits[].elapsed_ns = 0' "$TMP/fanout.json") <(jq -S . "$GOLDEN") ||
+        die "fanned-out audit report drifted from the single-node golden"
+    [ "$(cmetric "${CBASES[0]}" auditd_cluster_fanouts_total)" -ge 1 ] ||
+        die "many-deployment audit did not fan out"
+
+    # --- ingest through node A replicates to every peer before the ack ---
+    FP=$(jq '{records: .records}' scripts/recommend_request.json | \
+        "${CURL[@]}" -X POST -H 'Content-Type: application/json' --data @- "${CBASES[0]}/v1/depdb" | jq -r .fingerprint)
+    { [ -n "$FP" ] && [ "$FP" != null ]; } || die "cluster ingest returned no fingerprint"
+    for b in "${CBASES[@]}"; do
+        PFP=$("${CURL[@]}" "$b/healthz" | jq -r .db_fingerprint)
+        [ "$PFP" = "$FP" ] || die "node $b fingerprint $PFP != ingested $FP; replication did not converge"
+    done
+    [ "$(cmetric "${CBASES[0]}" auditd_cluster_replicated_records_total)" -ge 1 ] ||
+        die "ingest through node A replicated nothing"
+
+    # --- kill -9 a peer mid-job: survivors serve everything ---
+    KIDS=()
+    for i in $(seq 16 23); do
+        KIDS+=("$(csubmit "${CBASES[0]}" "$(shard_body "$i")")")
+    done
+    kill -9 "${CLUSTER_PIDS[3]}" 2>/dev/null || true
+    wait "${CLUSTER_PIDS[3]}" 2>/dev/null || true
+    for id in "${KIDS[@]}"; do
+        cwait_done "${CBASES[0]}" "$id" post-kill
+    done
+    for _ in $(seq 100); do
+        [ "$(cmetric "${CBASES[0]}" auditd_cluster_peers_healthy)" = 2 ] && break
+        sleep 0.1
+    done
+    [ "$(cmetric "${CBASES[0]}" auditd_cluster_peers_healthy)" = 2 ] ||
+        die "node A still counts the killed peer as healthy"
+    ID=$(csubmit "${CBASES[1]}" "$(shard_body survivor)")
+    cwait_done "${CBASES[1]}" "$ID" survivor-audit
+
+    # --- stop the fleet, rerun the same 16 audits on one node, compare ---
+    for pid in "${CLUSTER_PIDS[@]}"; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    CLUSTER_PIDS=()
+    cstart_node "${CPORTS[0]}" ""
+    cwait_healthy "${CBASES[0]}"
+    T1=$(run_batch "${CBASES[0]}")
+
+    echo "smoke cluster: 16 audits took ${T4}s on 4 nodes vs ${T1}s on 1 node"
+    awk -v one="$T1" -v four="$T4" 'BEGIN {exit !(one >= 2.5 * four)}' ||
+        die "4-node fleet was only $(awk -v one="$T1" -v four="$T4" 'BEGIN {printf "%.2f", one/four}')x faster, want >= 2.5x"
+
+    echo "smoke OK: hash routing spread 16 audits with per-node attribution; peer cache, fan-out splice and ingest replication confirmed; fleet survived kill -9 and beat one node by >= 2.5x"
+    exit 0
+fi
+
+die "unknown mode $MODE (want base, restart, chaos, pia, stream or cluster)"
